@@ -1,0 +1,126 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Covers the paper's in-text claims (T1: ~5% throughput per extra
+arbitration cycle; T2: ~8% from pipelining alone) plus ablations of
+the nomination fan-out and the buffer partition depth.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.timing import SPAA_TIMING
+from repro.experiments.claims import run_arb_latency_cost, run_pipelining_gain
+from repro.network.channels import BufferPlan
+from repro.network.packets import PacketClass
+from repro.sim.config import (
+    NetworkConfig,
+    SimulationConfig,
+    TrafficConfig,
+    saturation_buffer_plan,
+)
+from repro.sim.timing_model import NetworkSimulator
+
+
+@pytest.mark.repro("text claim T1: ~5% throughput per arbitration cycle")
+def test_arb_latency_cost(benchmark):
+    result = benchmark.pedantic(
+        run_arb_latency_cost,
+        kwargs={"preset": "smoke", "latencies": (3, 5, 8)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    for latency, throughput in zip(result.latencies, result.throughputs):
+        print(f"  arb latency {latency} cycles -> {throughput:.3f} flits/router/ns")
+    loss = result.loss_per_cycle()
+    print(f"  loss per added cycle: {loss:.1%} (paper ~5%)")
+    # Longer arbitration must hurt, in the paper's ballpark.
+    assert result.throughputs[0] > result.throughputs[-1]
+    assert 0.005 <= loss <= 0.15
+
+
+@pytest.mark.repro("text claim T2: pipelining alone buys SPAA ~8%")
+def test_pipelining_gain(benchmark):
+    result = benchmark.pedantic(
+        run_pipelining_gain,
+        kwargs={"preset": "smoke", "rates": (0.01, 0.03, 0.045)},
+        iterations=1,
+        rounds=1,
+    )
+    print(f"\n  pipelining-only gain @122ns: {result.gain_at_target:+.1%} (paper ~+8%)")
+    assert result.gain_at_target > 0.0
+
+
+def _point(config: SimulationConfig) -> float:
+    return NetworkSimulator(config).bnf_point().throughput
+
+
+@pytest.mark.repro("ablation: SPAA nomination fan-out 1 vs 2")
+def test_single_output_nomination_ablation(benchmark):
+    """What if SPAA nominated to both adaptive outputs like PIM/WFA?
+
+    Fan-out 2 would forbid the speculative buffer read and require
+    output-side synchronization; this quantifies the matching quality
+    it would buy.  (Timing is held at SPAA's, isolating the fan-out.)
+    """
+    base = SimulationConfig(
+        algorithm="WFA-base",  # accepts multi-output nominations
+        network=NetworkConfig(width=4, height=4,
+                              buffer_plan=saturation_buffer_plan()),
+        traffic=TrafficConfig(injection_rate=0.045),
+        warmup_cycles=1_000,
+        measure_cycles=2_000,
+        seed=7,
+    )
+
+    def run():
+        fanout2 = _point(replace(
+            base, arbitration_override=replace(SPAA_TIMING, fanout=2,
+                                               speculative_read=False)
+        ))
+        fanout1 = _point(replace(base, algorithm="SPAA-base"))
+        return fanout1, fanout2
+
+    fanout1, fanout2 = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n  fan-out 1 (SPAA): {fanout1:.3f}, fan-out 2 (WFA grant): {fanout2:.3f}")
+    # Both must deliver comparable throughput at SPAA's timing: the
+    # matching-quality edge of fan-out 2 is small on a lightly-popped
+    # router (Figure 9's lesson).
+    assert fanout1 > 0 and fanout2 > 0
+    assert abs(fanout1 - fanout2) / max(fanout1, fanout2) < 0.35
+
+
+@pytest.mark.repro("ablation: buffer partition depth")
+def test_buffer_depth_ablation(benchmark):
+    """Deeper adaptive partitions postpone back-pressure; the paper's
+    tree saturation needs buffers that can actually fill."""
+    plans = {
+        "lean": saturation_buffer_plan(),
+        "deep": BufferPlan(adaptive_capacity={
+            PacketClass.REQUEST: 24,
+            PacketClass.FORWARD: 12,
+            PacketClass.BLOCK_RESPONSE: 24,
+            PacketClass.NONBLOCK_RESPONSE: 12,
+        }),
+    }
+
+    def run():
+        results = {}
+        for name, plan in plans.items():
+            config = SimulationConfig(
+                algorithm="SPAA-base",
+                network=NetworkConfig(width=8, height=8, buffer_plan=plan),
+                traffic=TrafficConfig(injection_rate=0.06),
+                warmup_cycles=1_000,
+                measure_cycles=2_000,
+                seed=7,
+            )
+            results[name] = _point(config)
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\n  beyond-saturation throughput: {results}")
+    # Deep buffers absorb the tree: delivered throughput must be at
+    # least as good as with lean buffers at the same overload.
+    assert results["deep"] >= results["lean"] * 0.95

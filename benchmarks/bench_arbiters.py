@@ -1,0 +1,63 @@
+"""Microbenchmarks of the raw arbitration algorithms.
+
+These time a single ``arbitrate()`` call on a fully loaded 16x7
+router state -- the operation that must fit in 3 (SPAA) or 4
+(PIM1/WFA) hardware cycles.  Relative software cost loosely tracks
+hardware complexity: SPAA's independent grants are the cheapest,
+the matrix algorithms cost more, and exhaustive MCM the most.
+"""
+
+import random
+
+import pytest
+
+from repro.core.registry import ArbiterContext, make_arbiter
+from repro.core.types import Nomination
+from repro.router.ports import network_rows
+
+
+def _multi_output_nominations(rng: random.Random) -> list[Nomination]:
+    noms = []
+    for row in range(16):
+        first = rng.randrange(7)
+        second = (first + 1 + rng.randrange(6)) % 7
+        noms.append(
+            Nomination(row=row, packet=1000 + row, outputs=(first, second),
+                       age=rng.randrange(100))
+        )
+    return noms
+
+
+def _single_output_nominations(rng: random.Random) -> list[Nomination]:
+    return [
+        Nomination(row=row, packet=1000 + row, outputs=(rng.randrange(7),),
+                   age=rng.randrange(100))
+        for row in range(16)
+    ]
+
+
+FREE = frozenset(range(7))
+
+
+@pytest.mark.parametrize(
+    "name", ["MCM", "PIM", "PIM1", "WFA-base", "WFA-rotary"]
+)
+def test_multi_output_arbiter_speed(benchmark, name):
+    rng = random.Random(42)
+    arbiter = make_arbiter(
+        name, ArbiterContext(16, 7, network_rows(), random.Random(1))
+    )
+    noms = _multi_output_nominations(rng)
+    grants = benchmark(arbiter.arbitrate, noms, FREE)
+    assert grants
+
+
+@pytest.mark.parametrize("name", ["SPAA-base", "SPAA-rotary", "OPF"])
+def test_single_output_arbiter_speed(benchmark, name):
+    rng = random.Random(42)
+    arbiter = make_arbiter(
+        name, ArbiterContext(16, 7, network_rows(), random.Random(1))
+    )
+    noms = _single_output_nominations(rng)
+    grants = benchmark(arbiter.arbitrate, noms, FREE)
+    assert grants

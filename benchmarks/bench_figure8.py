@@ -1,0 +1,36 @@
+"""Benchmark + reproduction check for Figure 8 (matching vs load)."""
+
+import pytest
+
+from repro.experiments.figure8 import run_figure8
+
+
+@pytest.mark.repro("figure-8")
+def test_figure8_matching_capability(benchmark, standalone_trials):
+    result = benchmark.pedantic(
+        run_figure8,
+        kwargs={"trials": standalone_trials, "fractions": (0.25, 0.5, 0.75, 1.0)},
+        iterations=1,
+        rounds=1,
+    )
+
+    print()
+    header = ["x"] + list(result.series)
+    print("  ".join(f"{h:>6}" for h in header))
+    for i, fraction in enumerate(result.fractions):
+        row = [f"{fraction:6.2f}"] + [
+            f"{result.series[a][i]:6.2f}" for a in result.series
+        ]
+        print("  ".join(row))
+
+    # Paper shape: MCM ~= WFA ~= PIM > PIM1 > SPAA at saturation.
+    mcm = result.matches_at_saturation("MCM")
+    wfa = result.matches_at_saturation("WFA")
+    pim = result.matches_at_saturation("PIM")
+    pim1 = result.matches_at_saturation("PIM1")
+    spaa = result.matches_at_saturation("SPAA")
+    assert mcm >= wfa > pim1 > spaa
+    assert mcm >= pim > pim1
+    # Paper: MCM +36% over SPAA, PIM1 +14% -- allow generous slack.
+    assert 0.25 <= result.gap_over_spaa("MCM") <= 0.60
+    assert 0.08 <= result.gap_over_spaa("PIM1") <= 0.30

@@ -1,0 +1,28 @@
+"""Benchmark + reproduction check for Figure 9 (matching vs occupancy)."""
+
+import pytest
+
+from repro.experiments.figure9 import run_figure9
+
+
+@pytest.mark.repro("figure-9")
+def test_figure9_occupancy_convergence(benchmark, standalone_trials):
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs={"trials": standalone_trials},
+        iterations=1,
+        rounds=1,
+    )
+
+    print()
+    for algorithm, values in result.series.items():
+        cells = "  ".join(f"{v:5.2f}" for v in values)
+        print(f"{algorithm:>5}: {cells}   (occupancy 0, .25, .5, .75)")
+
+    # Paper shape: a clear gap at zero occupancy ...
+    assert result.spread_at(0.0) > 0.25
+    # ... shrinking monotonically ...
+    spreads = [result.spread_at(occ) for occ in result.occupancies]
+    assert all(a >= b for a, b in zip(spreads, spreads[1:]))
+    # ... and essentially gone at 75% occupancy.
+    assert result.spread_at(0.75) < 0.05

@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate each paper figure at reduced scale (the ``smoke``
+/ ``fast`` presets) so ``pytest benchmarks/ --benchmark-only`` finishes
+in minutes; the full-scale regeneration is ``repro-experiments all
+--preset paper``.  Each benchmark also *checks the paper's shape
+claims* on its output, so a performance run doubles as a reproduction
+check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "repro(figure): marks which paper figure a benchmark regenerates"
+    )
+
+
+@pytest.fixture(scope="session")
+def standalone_trials() -> int:
+    """Trials per standalone point (paper: 1000; benches use fewer)."""
+    return 300

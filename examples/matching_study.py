@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""A deeper look at matching capability (Figures 8 and 9 territory).
+
+Beyond regenerating the paper's curves, this example uses the
+standalone model's knobs to answer questions the paper leaves implicit:
+
+* how much of PIM/WFA's advantage comes from *adaptivity* (packets
+  with two candidate outputs) rather than from iteration?
+* how sensitive is SPAA to the share of local traffic (which piles
+  onto only three output ports)?
+
+Runtime: under a minute.  Run: ``python examples/matching_study.py``
+"""
+
+from dataclasses import replace
+
+from repro.experiments.report import ascii_plot, format_table
+from repro.sim import StandaloneConfig, measure_matches
+
+ALGORITHMS = ("MCM", "WFA", "PIM1", "SPAA")
+
+
+def adaptivity_study() -> None:
+    print("1. Matching vs adaptive freedom")
+    print("   (share of network packets with two candidate outputs)\n")
+    fractions = (0.0, 0.25, 0.5, 0.75, 1.0)
+    rows = []
+    series = {}
+    for algorithm in ALGORITHMS:
+        values = []
+        for fraction in fractions:
+            config = StandaloneConfig(
+                algorithm=algorithm, load=32, trials=300,
+                two_direction_fraction=fraction,
+            )
+            values.append(measure_matches(config))
+        series[algorithm] = list(zip(fractions, values))
+        rows.append((algorithm,) + tuple(values))
+    print(format_table(
+        ("algorithm",) + tuple(f"p2={f:.2f}" for f in fractions), rows
+    ))
+    print()
+    print(ascii_plot(series, x_label="two-output fraction",
+                     y_label="matches/cycle", height=12, width=60))
+    print("\n   -> adaptivity helps every algorithm, but the matrix")
+    print("      algorithms exploit the second choice far better than")
+    print("      SPAA, which must commit to one output up front.\n")
+
+
+def local_traffic_study() -> None:
+    print("2. Matching vs local-traffic share")
+    print("   (local packets have a single destination among 3 ports)\n")
+    shares = (0.0, 0.25, 0.5, 0.75)
+    rows = []
+    for algorithm in ALGORITHMS:
+        values = []
+        for share in shares:
+            config = StandaloneConfig(
+                algorithm=algorithm, load=32, trials=300,
+                local_fraction=share,
+            )
+            values.append(measure_matches(config))
+        rows.append((algorithm,) + tuple(values))
+    print(format_table(
+        ("algorithm",) + tuple(f"local={s:.2f}" for s in shares), rows
+    ))
+    print("\n   -> concentrating traffic on the three local sinks caps")
+    print("      everyone; the 21364's 50% local share is why seven")
+    print("      matches per cycle is rarely achievable at all.\n")
+
+
+def occupancy_study() -> None:
+    print("3. The paper's bottom line: occupancy erases the differences\n")
+    rows = []
+    for occupancy in (0.0, 0.5, 0.75):
+        values = [
+            measure_matches(StandaloneConfig(
+                algorithm=a, load=32, trials=300, occupancy=occupancy
+            ))
+            for a in ALGORITHMS
+        ]
+        spread = (max(values) - min(values)) / min(values)
+        rows.append((f"{occupancy:.2f}",) + tuple(values) + (f"{spread:.1%}",))
+    print(format_table(
+        ("occupancy",) + tuple(ALGORITHMS) + ("spread",), rows
+    ))
+    print("\n   -> at realistic (busy) operating points, pick the algorithm")
+    print("      that is fastest to implement: SPAA.")
+
+
+if __name__ == "__main__":
+    adaptivity_study()
+    local_traffic_study()
+    occupancy_study()

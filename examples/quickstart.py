@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Quickstart: arbitrate one router cycle, then simulate a small network.
+
+Walks through the library's three levels in ~a minute of runtime:
+
+1. raw arbitration -- feed the Figure 2 scenario to OPF, SPAA, WFA and
+   MCM and watch the collision behaviour the paper opens with;
+2. the standalone model -- matching capability at a loaded router;
+3. the timing model -- a 4x4 torus of 21364 routers running the
+   coherence workload, comparing SPAA-base against WFA-base.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import random
+
+from repro.core import ArbiterContext, Nomination, make_arbiter
+from repro.experiments.report import format_table
+from repro.router import network_rows
+from repro.sim import (
+    NetworkConfig,
+    SimulationConfig,
+    StandaloneConfig,
+    TrafficConfig,
+    measure_matches,
+    simulate_bnf_point,
+)
+
+# --------------------------------------------------------------------
+# 1. Raw arbitration: the paper's Figure 2 worked example.
+# --------------------------------------------------------------------
+# Eight input ports; every port's *oldest* packet wants output 3.  A
+# naive oldest-packet-first arbiter collides; a good matching ships one
+# packet per output.
+FIGURE2_OLDEST = [
+    Nomination(row=port, packet=port, outputs=(3,), age=9)
+    for port in range(8)
+]
+FIGURE2_ALL = []
+uid = 100
+for port, columns in enumerate(
+    [(3, 2, 1)] * 4 + [(3, 6, 1), (3, 2, 0), (3, 2, 4), (3, 2, 5)]
+):
+    for age, output in zip((9, 5, 1), columns):
+        FIGURE2_ALL.append(
+            Nomination(row=uid, packet=uid, outputs=(output,), age=age,
+                       group=port, group_capacity=1)
+        )
+        uid += 1
+
+
+def demo_figure2() -> None:
+    print("1. Figure 2: arbitration collisions")
+    print("   every input port's oldest packet targets output port 3\n")
+    context = ArbiterContext(
+        num_rows=16, num_outputs=7, network_rows=network_rows(),
+        rng=random.Random(1),
+    )
+    free = frozenset(range(7))
+
+    opf = make_arbiter("OPF", context).arbitrate(FIGURE2_OLDEST, free)
+    mcm = make_arbiter("MCM", context).arbitrate(FIGURE2_ALL, free)
+    print(f"   OPF (naive oldest-first): {len(opf)} packet dispatched "
+          f"(7 collided and wasted the cycle)")
+    print(f"   MCM (exhaustive matching): {len(mcm)} packets dispatched -- "
+          f"the shaded cells of Figure 2\n")
+
+
+# --------------------------------------------------------------------
+# 2. Standalone model: matching capability of a loaded router.
+# --------------------------------------------------------------------
+def demo_standalone() -> None:
+    print("2. Standalone single-router model (Figures 8 and 9)\n")
+    rows = []
+    for algorithm in ("MCM", "WFA", "PIM", "PIM1", "SPAA"):
+        free = measure_matches(
+            StandaloneConfig(algorithm=algorithm, load=32, trials=300)
+        )
+        busy = measure_matches(
+            StandaloneConfig(algorithm=algorithm, load=32, occupancy=0.75,
+                             trials=300)
+        )
+        rows.append((algorithm, free, busy))
+    print(format_table(
+        ("algorithm", "matches/cycle (outputs free)",
+         "matches/cycle (75% busy)"),
+        rows,
+    ))
+    print("\n   -> with 75% of outputs busy the gap disappears: the paper's")
+    print("      argument for choosing the simplest pipelineable algorithm.\n")
+
+
+# --------------------------------------------------------------------
+# 3. Timing model: a 4x4 torus under coherence traffic.
+# --------------------------------------------------------------------
+def demo_timing() -> None:
+    print("3. Timing model: 4x4 torus, uniform coherence traffic\n")
+    rows = []
+    for algorithm in ("SPAA-base", "WFA-base", "PIM1"):
+        config = SimulationConfig(
+            algorithm=algorithm,
+            network=NetworkConfig(width=4, height=4),
+            traffic=TrafficConfig(injection_rate=0.03),
+            warmup_cycles=2_000,
+            measure_cycles=6_000,
+            seed=21364,
+        )
+        point = simulate_bnf_point(config)
+        rows.append((algorithm, point.throughput, point.latency_ns))
+    print(format_table(
+        ("algorithm", "flits/router/ns", "avg packet latency (ns)"), rows
+    ))
+    print("\n   -> SPAA's 3-cycle pipelined arbitration beats the 4-cycle")
+    print("      matrix algorithms despite its weaker matching.")
+
+
+if __name__ == "__main__":
+    demo_figure2()
+    demo_standalone()
+    demo_timing()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The Rotary Rule rescuing an 8x8 torus from tree saturation.
+
+Reproduces (in miniature) the right-hand side of the paper's Figure 10
+for the 8x8 network: beyond the saturation point, SPAA-base's delivered
+throughput collapses -- freshly injected packets grab output ports
+while the packets already in the network sit in full buffers -- whereas
+SPAA-rotary, which gives cross-traffic priority (like cars already in a
+Massachusetts rotary), keeps delivering.
+
+Runtime: a few minutes.  Run: ``python examples/saturation_rotary.py``
+"""
+
+from repro.experiments.report import bnf_plot, format_table
+from repro.sim import (
+    NetworkConfig,
+    SimulationConfig,
+    TrafficConfig,
+    saturation_buffer_plan,
+    sweep_algorithms,
+)
+
+RATES = (0.01, 0.02, 0.035, 0.06)
+
+
+def main() -> None:
+    config = SimulationConfig(
+        network=NetworkConfig(
+            width=8, height=8, buffer_plan=saturation_buffer_plan()
+        ),
+        traffic=TrafficConfig(injection_rate=0.01, mshr_limit=16),
+        warmup_cycles=2_000,
+        measure_cycles=6_000,
+        seed=21364,
+    )
+    print("Sweeping offered load on an 8x8 torus (this takes a few minutes)\n")
+    curves = sweep_algorithms(
+        config,
+        algorithms=("SPAA-base", "SPAA-rotary"),
+        rates=RATES,
+        progress=lambda line: print("  " + line),
+    )
+
+    print()
+    rows = []
+    for label, curve in curves.items():
+        for point in curve.points:
+            rows.append((label, f"{point.offered_rate:.3f}",
+                         point.throughput, point.latency_ns))
+    print(format_table(
+        ("algorithm", "offered rate", "delivered flits/router/ns",
+         "avg latency (ns)"),
+        rows,
+    ))
+
+    base = curves["SPAA-base"]
+    rotary = curves["SPAA-rotary"]
+    print()
+    print(bnf_plot(curves, width=64, height=14))
+    print()
+    collapse = 1.0 - base.points[-1].throughput / base.peak_throughput()
+    rescue = rotary.points[-1].throughput / base.points[-1].throughput - 1.0
+    print(f"SPAA-base loses {collapse:.0%} of its peak throughput beyond "
+          "saturation;")
+    print(f"the Rotary Rule turns that into a {rescue:+.0%} advantage at "
+          "maximum pressure.")
+    print("\n(The 21364 ships the Rotary Rule as a boot-time option -- a")
+    print(" safety net for loads no real workload was expected to reach.)")
+
+
+if __name__ == "__main__":
+    main()

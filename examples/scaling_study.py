@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Why pipelined arbitration wins as routers get deeper (Figure 11a).
+
+Technology scaling makes pipelines deeper: the paper projects a router
+with twice the pipeline depth at twice the clock.  PIM1 and WFA stretch
+to 8-cycle arbitrations that still restart only once per matrix pass;
+SPAA stretches to 6 cycles but keeps launching a new arbitration every
+cycle.  This example runs both generations side by side and reports how
+the gap between SPAA-rotary and WFA-rotary widens.
+
+Runtime: a few minutes.  Run: ``python examples/scaling_study.py``
+"""
+
+from repro.core import PIM1_TIMING, SPAA_TIMING, WFA_TIMING
+from repro.experiments.report import format_table
+from repro.sim import (
+    NetworkConfig,
+    SimulationConfig,
+    TrafficConfig,
+    saturation_buffer_plan,
+    sweep_algorithms,
+    throughput_gain_at_latency,
+)
+
+ALGORITHMS = ("PIM1", "WFA-rotary", "SPAA-rotary")
+
+
+def run_generation(pipeline_scale: int, rates: tuple[float, ...]):
+    config = SimulationConfig(
+        network=NetworkConfig(
+            width=8,
+            height=8,
+            buffer_plan=saturation_buffer_plan(),
+            pipeline_scale=pipeline_scale,
+        ),
+        traffic=TrafficConfig(injection_rate=0.01),
+        warmup_cycles=2_000,
+        measure_cycles=6_000,
+        seed=21364,
+    )
+    return sweep_algorithms(config, ALGORITHMS, rates,
+                            progress=lambda line: print("  " + line))
+
+
+def main() -> None:
+    print("Arbitration timings by generation:")
+    print(format_table(
+        ("algorithm", "latency (1x)", "interval (1x)", "latency (2x)",
+         "interval (2x)"),
+        [
+            ("SPAA", SPAA_TIMING.latency, SPAA_TIMING.initiation_interval,
+             SPAA_TIMING.scaled(2).latency,
+             SPAA_TIMING.scaled(2).initiation_interval),
+            ("WFA", WFA_TIMING.latency, WFA_TIMING.initiation_interval,
+             WFA_TIMING.scaled(2).latency,
+             WFA_TIMING.scaled(2).initiation_interval),
+            ("PIM1", PIM1_TIMING.latency, PIM1_TIMING.initiation_interval,
+             PIM1_TIMING.scaled(2).latency,
+             PIM1_TIMING.scaled(2).initiation_interval),
+        ],
+    ))
+    print("\nSPAA is the only one whose initiation interval stays at 1.\n")
+
+    print("Generation 1: the shipped 21364 (1.2 GHz, 3/4-cycle arbitration)")
+    gen1 = run_generation(1, rates=(0.01, 0.03, 0.045))
+    print("\nGeneration 2: 2x-deep pipeline at 2x clock (6/8-cycle arbitration)")
+    gen2 = run_generation(2, rates=(0.02, 0.06, 0.09))
+
+    rows = []
+    for label, curves, latency in (("1x", gen1, 122.0), ("2x", gen2, 100.0)):
+        gain = throughput_gain_at_latency(
+            curves["SPAA-rotary"], curves["WFA-rotary"], latency
+        )
+        rows.append((
+            label,
+            curves["SPAA-rotary"].peak_throughput(),
+            curves["WFA-rotary"].peak_throughput(),
+            curves["PIM1"].peak_throughput(),
+            f"{gain:+.1%} @ {latency:.0f}ns",
+        ))
+    print()
+    print(format_table(
+        ("pipeline", "SPAA-rotary peak", "WFA-rotary peak", "PIM1 peak",
+         "SPAA over WFA"),
+        rows,
+        title="Peak delivered throughput (flits/router/ns)",
+    ))
+    print("\n-> the deeper the pipeline, the more SPAA's every-cycle launch")
+    print("   matters (the paper reports >60% at 2x depth).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regenerate every figure's data for EXPERIMENTS.md.
+
+Standalone figures run at full paper scale (1000 trials); the timing
+figures run at the ``smoke`` preset with slightly reduced rate grids so
+the whole script finishes on a laptop-class single core in under an
+hour.  ``repro-experiments all --preset paper`` is the full-scale
+version of the same thing.
+"""
+
+import time
+from pathlib import Path
+
+from repro.experiments import claims, figure8, figure9, figure10, figure11
+
+RESULTS = Path(__file__).parent
+PRESET = "smoke"
+RATES = (0.005, 0.015, 0.03, 0.045, 0.065)
+
+
+def save(name: str, text: str, started: float) -> None:
+    elapsed = time.time() - started
+    (RESULTS / name).write_text(text + f"\n\n[generated in {elapsed:.1f}s]\n")
+    print(f"{name} done in {elapsed:.1f}s", flush=True)
+
+
+def fresh(name: str) -> bool:
+    """Skip results already produced by an earlier (better) run."""
+    return not (RESULTS / name).exists()
+
+
+def main() -> None:
+    if fresh("fig8.txt"):
+        t = time.time()
+        save("fig8.txt",
+             figure8.format_figure8(figure8.run_figure8(trials=1000)), t)
+
+    if fresh("fig9.txt"):
+        t = time.time()
+        save("fig9.txt",
+             figure9.format_figure9(figure9.run_figure9(trials=1000)), t)
+
+    if fresh("claims.txt"):
+        t = time.time()
+        result = claims.format_claims(
+            claims.run_arb_latency_cost(preset=PRESET),
+            claims.run_pipelining_gain(preset=PRESET),
+        )
+        save("claims.txt", result, t)
+
+    panels10 = tuple(
+        figure10.Panel(
+            p.name, p.width, p.height, p.pattern, RATES,
+            headline_latency_ns=p.headline_latency_ns,
+            rotary_latency_ns=p.rotary_latency_ns,
+        )
+        for p in figure10.PANELS
+    )
+    t = time.time()
+    fig10 = figure10.run_figure10(
+        preset=PRESET, panels=panels10,
+        progress=lambda m: print("  " + m, flush=True),
+    )
+    save("fig10.txt", figure10.format_figure10(fig10), t)
+
+    panels11 = tuple(
+        figure11.ScalingPanel(
+            p.key, p.name, p.width, p.height, p.mshr_limit, p.pipeline_scale,
+            RATES if p.key != "a" else (0.01, 0.03, 0.06, 0.09, 0.13),
+            p.headline_latency_ns, p.baseline,
+        )
+        for p in figure11.PANELS
+    )
+    t = time.time()
+    fig11 = figure11.run_figure11(
+        preset=PRESET, panels=panels11,
+        progress=lambda m: print("  " + m, flush=True),
+    )
+    save("fig11.txt", figure11.format_figure11(fig11), t)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Coherence-protocol substrate: transactions, MSHRs, protocol engine."""
+
+from repro.coherence.mshr import MSHRFile
+from repro.coherence.protocol import CoherenceEngine, ProtocolHost
+from repro.coherence.transactions import (
+    Transaction,
+    TransactionKind,
+    TransactionLog,
+)
+
+__all__ = [
+    "CoherenceEngine",
+    "MSHRFile",
+    "ProtocolHost",
+    "Transaction",
+    "TransactionKind",
+    "TransactionLog",
+]

@@ -1,0 +1,40 @@
+"""Miss Status Holding Registers: the per-processor outstanding-miss cap.
+
+A 21364 processor sustains at most 16 outstanding cache misses to
+remote memory (paper section 3.4) -- one of the two properties that
+naturally limit network load.  Figure 11b studies a hypothetical
+64-entry successor (the cancelled 21464 would have had 64).
+"""
+
+from __future__ import annotations
+
+
+class MSHRFile:
+    """A counting semaphore over miss slots for one processor."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("a processor needs at least one MSHR")
+        self.limit = limit
+        self._outstanding = 0
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def available(self) -> int:
+        return self.limit - self._outstanding
+
+    def try_acquire(self) -> bool:
+        """Claim a slot; False when every MSHR is busy (miss throttled)."""
+        if self._outstanding >= self.limit:
+            return False
+        self._outstanding += 1
+        return True
+
+    def release(self) -> None:
+        """Free a slot when the block response arrives."""
+        if self._outstanding <= 0:
+            raise ValueError("releasing an MSHR that was never acquired")
+        self._outstanding -= 1

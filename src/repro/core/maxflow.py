@@ -1,0 +1,106 @@
+"""A from-scratch Dinic max-flow solver.
+
+The Maximal Cardinality Matching arbiter (MCM, paper section 3) needs a
+degree-constrained bipartite matching: each *input port* may dispatch up
+to two packets (one per read port), each *packet* may be dispatched once
+and each *output port* accepts one packet.  That is a unit-capacity flow
+problem with one extra capacity layer, so plain Hopcroft-Karp does not
+apply directly; Dinic's algorithm on the layered graph does, and on
+these tiny graphs (tens of nodes) it is exact and fast.
+"""
+
+from __future__ import annotations
+
+
+class MaxFlow:
+    """Dinic max-flow over an integer-capacity directed graph.
+
+    Nodes are dense integers ``0 .. n-1``.  Edges are stored as parallel
+    arrays in the usual adjacency-list-with-reverse-edge layout.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes <= 0:
+            raise ValueError("graph needs at least one node")
+        self.num_nodes = num_nodes
+        self._to: list[int] = []
+        self._cap: list[int] = []
+        self._adj: list[list[int]] = [[] for _ in range(num_nodes)]
+
+    def add_edge(self, src: int, dst: int, capacity: int) -> int:
+        """Add a directed edge and its residual twin; return its id."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise ValueError("edge endpoint out of range")
+        edge_id = len(self._to)
+        self._to.append(dst)
+        self._cap.append(capacity)
+        self._adj[src].append(edge_id)
+        self._to.append(src)
+        self._cap.append(0)
+        self._adj[dst].append(edge_id + 1)
+        return edge_id
+
+    def flow_on(self, edge_id: int) -> int:
+        """Flow pushed over *edge_id* (the residual edge's capacity)."""
+        return self._cap[edge_id ^ 1]
+
+    def max_flow(self, source: int, sink: int) -> int:
+        """Compute the maximum flow from *source* to *sink*."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        total = 0
+        while True:
+            level = self._bfs_levels(source, sink)
+            if level[sink] < 0:
+                return total
+            next_edge = [0] * self.num_nodes
+            while True:
+                pushed = self._dfs_push(source, sink, _INF, level, next_edge)
+                if pushed == 0:
+                    break
+                total += pushed
+
+    def _bfs_levels(self, source: int, sink: int) -> list[int]:
+        level = [-1] * self.num_nodes
+        level[source] = 0
+        frontier = [source]
+        while frontier and level[sink] < 0:
+            nxt: list[int] = []
+            for node in frontier:
+                for edge_id in self._adj[node]:
+                    dst = self._to[edge_id]
+                    if self._cap[edge_id] > 0 and level[dst] < 0:
+                        level[dst] = level[node] + 1
+                        nxt.append(dst)
+            frontier = nxt
+        return level
+
+    def _dfs_push(
+        self,
+        node: int,
+        sink: int,
+        limit: int,
+        level: list[int],
+        next_edge: list[int],
+    ) -> int:
+        if node == sink:
+            return limit
+        adj = self._adj[node]
+        while next_edge[node] < len(adj):
+            edge_id = adj[next_edge[node]]
+            dst = self._to[edge_id]
+            if self._cap[edge_id] > 0 and level[dst] == level[node] + 1:
+                pushed = self._dfs_push(
+                    dst, sink, min(limit, self._cap[edge_id]), level, next_edge
+                )
+                if pushed > 0:
+                    self._cap[edge_id] -= pushed
+                    self._cap[edge_id ^ 1] += pushed
+                    return pushed
+            next_edge[node] += 1
+        return 0
+
+
+_INF = 1 << 60

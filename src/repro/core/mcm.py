@@ -1,0 +1,89 @@
+"""Maximal Cardinality Matching (MCM) -- the paper's upper bound.
+
+MCM is Maximum Weight Matching with all weights equal: it exhaustively
+finds the largest possible set of conflict-free (packet, output) pairs.
+The paper uses it only in the standalone (non-timing) studies because
+no known hardware implementation fits in a few cycles; we use it the
+same way, as the reference curve of Figures 8 and 9.
+
+The matching must respect three capacities: each output port takes one
+packet, each packet is dispatched once, and each input *port* can read
+out at most ``group_capacity`` packets per cycle (two read ports in the
+21364).  We solve this exactly with the from-scratch Dinic solver in
+:mod:`repro.core.maxflow` over the network::
+
+    source --cap=group_capacity--> input port --1--> packet --1--> output --1--> sink
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base import Arbiter, usable_nominations
+from repro.core.maxflow import MaxFlow
+from repro.core.types import Grant, Nomination
+
+
+class MCMArbiter(Arbiter):
+    """Exact maximum-cardinality matching via max-flow."""
+
+    name = "MCM"
+
+    def arbitrate(
+        self,
+        nominations: Sequence[Nomination],
+        free_outputs: frozenset[int],
+    ) -> list[Grant]:
+        usable = usable_nominations(nominations, free_outputs)
+        if not usable:
+            return []
+
+        groups = sorted({nom.group if nom.group is not None else -1 - nom.row
+                         for nom, _ in usable})
+        outputs = sorted({o for _, outs in usable for o in outs})
+        group_index = {g: i for i, g in enumerate(groups)}
+        output_index = {o: i for i, o in enumerate(outputs)}
+
+        # Node layout: 0 = source, then groups, then packets, then
+        # outputs, then sink.
+        num_packets = len(usable)
+        first_group = 1
+        first_packet = first_group + len(groups)
+        first_output = first_packet + num_packets
+        sink = first_output + len(outputs)
+        graph = MaxFlow(sink + 1)
+
+        group_capacity: dict[int, int] = {}
+        for nom, _ in usable:
+            key = nom.group if nom.group is not None else -1 - nom.row
+            group_capacity[key] = max(
+                group_capacity.get(key, 0), nom.group_capacity
+            )
+        for key, capacity in group_capacity.items():
+            graph.add_edge(0, first_group + group_index[key], capacity)
+
+        packet_output_edges: list[list[tuple[int, int]]] = []
+        for packet_node, (nom, outs) in enumerate(usable):
+            key = nom.group if nom.group is not None else -1 - nom.row
+            graph.add_edge(
+                first_group + group_index[key], first_packet + packet_node, 1
+            )
+            edges = []
+            for out in outs:
+                edge_id = graph.add_edge(
+                    first_packet + packet_node, first_output + output_index[out], 1
+                )
+                edges.append((edge_id, out))
+            packet_output_edges.append(edges)
+        for out in outputs:
+            graph.add_edge(first_output + output_index[out], sink, 1)
+
+        graph.max_flow(0, sink)
+
+        grants = []
+        for (nom, _), edges in zip(usable, packet_output_edges):
+            for edge_id, out in edges:
+                if graph.flow_on(edge_id) > 0:
+                    grants.append(Grant(row=nom.row, packet=nom.packet, output=out))
+                    break
+        return grants

@@ -1,0 +1,101 @@
+"""Maximum-weight-matching reference arbiters: LQF and OCF.
+
+Paper section 3: the arbitration problem can be modelled as maximum
+weight matching (MWM) on the bipartite arbiter graph, with LQF
+("longest queue first" -- weight = waiting packets behind the
+nomination) and OCF ("oldest cell first" -- weight = waiting time) as
+the classic weight choices.  MWM needs O(N^3) iterations in the worst
+case, so -- like MCM -- these are *standalone-only references*: no
+few-cycle hardware implementation exists, which is exactly why the
+paper does not consider them for the 21364.
+
+Following the scheduler literature (iLQF/iOCF), we implement the
+standard greedy form: take nominations in descending weight and skip
+conflicts.  Greedy is a 1/2-approximation of exact MWM, deterministic,
+and is what the matching-capability comparisons in the standalone
+model need.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.core.base import Arbiter, usable_nominations
+from repro.core.types import Grant, Nomination
+
+
+class WeightRule(enum.Enum):
+    """How a nomination's weight is derived."""
+
+    #: longest queue first: the weight is the number of nominations
+    #: sharing the packet's input port -- the visible proxy for queue
+    #: length at that port.
+    LQF = "lqf"
+    #: oldest cell first: the nomination's age is the weight.
+    OCF = "ocf"
+
+
+class GreedyMWMArbiter(Arbiter):
+    """Greedy maximum-weight matching (iLQF / iOCF style)."""
+
+    def __init__(self, rule: WeightRule) -> None:
+        self._rule = rule
+        self.name = "LQF" if rule is WeightRule.LQF else "OCF"
+
+    def arbitrate(
+        self,
+        nominations: Sequence[Nomination],
+        free_outputs: frozenset[int],
+    ) -> list[Grant]:
+        usable = usable_nominations(nominations, free_outputs)
+        if not usable:
+            return []
+
+        if self._rule is WeightRule.LQF:
+            queue_depth: dict[int | None, int] = {}
+            for nom, _ in usable:
+                key = nom.group if nom.group is not None else nom.row
+                queue_depth[key] = queue_depth.get(key, 0) + 1
+
+            def weight(nom: Nomination) -> float:
+                key = nom.group if nom.group is not None else nom.row
+                return float(queue_depth[key])
+        else:
+            def weight(nom: Nomination) -> float:
+                return float(nom.age)
+
+        # Starving packets outrank all weights (anti-starvation), then
+        # heaviest first; deterministic tie-break on (row, packet).
+        order = sorted(
+            usable,
+            key=lambda item: (
+                not item[0].starving,
+                -weight(item[0]),
+                item[0].row,
+                item[0].packet,
+            ),
+        )
+
+        grants: list[Grant] = []
+        rows_used: set[int] = set()
+        outputs_used: set[int] = set()
+        packets_used: set[int] = set()
+        group_counts: dict[int, int] = {}
+        for nom, outputs in order:
+            if nom.row in rows_used or nom.packet in packets_used:
+                continue
+            if nom.group is not None:
+                if group_counts.get(nom.group, 0) >= nom.group_capacity:
+                    continue
+            for out in outputs:
+                if out in outputs_used:
+                    continue
+                grants.append(Grant(row=nom.row, packet=nom.packet, output=out))
+                rows_used.add(nom.row)
+                outputs_used.add(out)
+                packets_used.add(nom.packet)
+                if nom.group is not None:
+                    group_counts[nom.group] = group_counts.get(nom.group, 0) + 1
+                break
+        return grants

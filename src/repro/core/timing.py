@@ -1,0 +1,123 @@
+"""Arbitration pipeline timing characteristics.
+
+The paper's comparison hinges on three hardware numbers per algorithm:
+how many cycles one arbitration takes (*latency*), how often a new
+input-port arbitration can start (*initiation interval*), and whether
+the same packet may be nominated to several outputs (*fan-out*, which
+decides whether the speculative input-buffer read of SPAA is possible).
+
+Paper values (sections 1 and 3):
+
+=============  ========  ====================  =======
+algorithm      latency   initiation interval   fan-out
+=============  ========  ====================  =======
+SPAA           3         1 (fully pipelined)   1
+PIM1           4         3                     2
+WFA            4         3                     2
+=============  ========  ====================  =======
+
+The 2x-deep pipeline study of Figure 11a doubles the latencies to
+6 / 8 / 8 (at twice the clock frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class ArbitrationTiming:
+    """Cycle-level behaviour of an arbitration implementation.
+
+    Attributes:
+        latency: cycles from the start of input-port arbitration (LA)
+            to the output-port grant taking effect (GA).
+        initiation_interval: minimum cycles between successive
+            arbitration launches at one router; 1 means fully
+            pipelined.
+        fanout: maximum number of output ports a single packet may be
+            nominated to in one launch (1 for SPAA, 2 for PIM/WFA --
+            the adaptive routing allows at most two directions).
+        nominations_per_port: how many packets one *input port* may
+            nominate per arbitration.  PIM and WFA load the matrix from
+            both read ports (2).  SPAA's read-port pair synchronizes on
+            one nomination per cycle -- the pairing that makes the
+            paper's "only 16 in-flight packets" work out with a
+            three-cycle pipeline -- so it nominates 1; the second read
+            port performs the speculative data read-out.
+        tail_cycles: cycles of the latency that are pure wire delay
+            *after* the grant decision (the paper: PIM1 and WFA's
+            "fourth cycle accounts for wire delays from the matrix to
+            the output ports and can be pipelined").  The arbitration
+            state updates at ``latency - tail_cycles``; the packet
+            reaches the output ``tail_cycles`` later.
+        speculative_read: whether a nominated packet can be read out of
+            the input buffer before the grant arrives (possible only
+            with fanout 1).
+    """
+
+    latency: int
+    initiation_interval: int
+    fanout: int
+    nominations_per_port: int = 2
+    tail_cycles: int = 0
+    speculative_read: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError("latency must be at least one cycle")
+        if self.initiation_interval < 1:
+            raise ValueError("initiation interval must be at least one cycle")
+        if self.fanout not in (1, 2):
+            raise ValueError("fan-out is 1 (SPAA) or 2 (adaptive maximum)")
+        if self.nominations_per_port not in (1, 2):
+            raise ValueError("an input port has two read ports at most")
+        if not 0 <= self.tail_cycles < self.latency:
+            raise ValueError("tail cycles must leave at least one decision cycle")
+        if self.speculative_read and self.fanout != 1:
+            raise ValueError("speculative buffer reads require fan-out 1")
+
+    @property
+    def decision_latency(self) -> int:
+        """Cycles from launch to the grant decision taking effect."""
+        return self.latency - self.tail_cycles
+
+    def scaled(self, factor: int) -> "ArbitrationTiming":
+        """Timing for a pipeline *factor* times deeper (Figure 11a).
+
+        The initiation interval scales for the non-pipelined
+        algorithms (their matrix pass stretches with the pipeline) but
+        stays 1 for a fully pipelined design -- that asymmetry is
+        exactly why SPAA pulls ahead at 2x depth.
+        """
+        if factor < 1:
+            raise ValueError("scale factor must be >= 1")
+        interval = self.initiation_interval
+        if interval > 1:
+            interval *= factor
+        return replace(
+            self,
+            latency=self.latency * factor,
+            initiation_interval=interval,
+            tail_cycles=self.tail_cycles * factor,
+        )
+
+
+SPAA_TIMING = ArbitrationTiming(
+    latency=3,
+    initiation_interval=1,
+    fanout=1,
+    nominations_per_port=1,
+    speculative_read=True,
+)
+PIM1_TIMING = ArbitrationTiming(
+    latency=4, initiation_interval=3, fanout=2, tail_cycles=1
+)
+WFA_TIMING = ArbitrationTiming(
+    latency=4, initiation_interval=3, fanout=2, tail_cycles=1
+)
+
+#: Hypothetical 3-cycle WFA used for the paper's pipelining ablation
+#: ("if we could implement WFA as a three-cycle arbitration mechanism
+#: like SPAA, then pipelining is the key difference").
+WFA_3CYCLE_TIMING = ArbitrationTiming(latency=3, initiation_interval=3, fanout=2)

@@ -1,0 +1,133 @@
+"""Command-line entry point: regenerate any figure or claim.
+
+Usage::
+
+    repro-experiments fig8
+    repro-experiments fig10 --preset paper --output results/fig10.txt
+    repro-experiments all --preset fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import claims, figure8, figure9, figure10, figure11
+
+
+def _run_fig8(args: argparse.Namespace) -> str:
+    return figure8.format_figure8(figure8.run_figure8(trials=args.trials))
+
+
+def _run_fig9(args: argparse.Namespace) -> str:
+    return figure9.format_figure9(figure9.run_figure9(trials=args.trials))
+
+
+def _run_fig10(args: argparse.Namespace) -> str:
+    panels = figure10.PANELS
+    if args.panel:
+        panels = tuple(p for p in panels if args.panel.lower() in p.name.lower())
+        if not panels:
+            raise SystemExit(f"no Figure 10 panel matches {args.panel!r}")
+    result = figure10.run_figure10(
+        preset=args.preset, panels=panels, progress=_progress(args)
+    )
+    return figure10.format_figure10(result)
+
+
+def _run_fig11(args: argparse.Namespace) -> str:
+    panels = figure11.PANELS
+    if args.panel:
+        panels = tuple(p for p in panels if p.key == args.panel.lower())
+        if not panels:
+            raise SystemExit("Figure 11 panels are a, b and c")
+    result = figure11.run_figure11(
+        preset=args.preset, panels=panels, progress=_progress(args)
+    )
+    return figure11.format_figure11(result)
+
+
+def _run_claims(args: argparse.Namespace) -> str:
+    return claims.format_claims(
+        claims.run_arb_latency_cost(preset=args.preset),
+        claims.run_pipelining_gain(preset=args.preset),
+        claims.run_saturation_oscillation(preset=args.preset),
+    )
+
+
+_EXPERIMENTS = {
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "claims": _run_claims,
+}
+
+
+def _progress(args: argparse.Namespace):
+    if args.quiet:
+        return None
+    return lambda message: print(message, file=sys.stderr, flush=True)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures of 'A Comparative Study of Arbitration "
+            "Algorithms for the Alpha 21364 Pipelined Router' (ASPLOS 2002)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which figure (or in-text claim set) to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("paper", "fast", "smoke"),
+        default="fast",
+        help="simulation length: paper=75k cycles per point, fast=12k, "
+             "smoke=3k (default: fast)",
+    )
+    parser.add_argument(
+        "--panel",
+        default=None,
+        help="restrict fig10 (substring match) or fig11 (a/b/c) to one panel",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=1000,
+        help="standalone-model trials per point for fig8/fig9 (default 1000)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="also write the report here"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reports = []
+    for name in names:
+        started = time.time()
+        report = _EXPERIMENTS[name](args)
+        elapsed = time.time() - started
+        reports.append(report + f"\n\n[{name} regenerated in {elapsed:.1f}s]")
+    text = ("\n\n" + "=" * 78 + "\n\n").join(reports)
+    print(text)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""Figure 10: BNF latency/throughput curves for the timing model.
+
+Four panels -- 4x4 random, 8x8 random, 8x8 bit-reversal and 8x8
+perfect-shuffle -- each sweeping offered load for the five timing-
+capable algorithms (PIM1, WFA-base, WFA-rotary, SPAA-base,
+SPAA-rotary).  Headline paper claims this regenerates:
+
+* SPAA-base beats PIM1/WFA-base by ~11% on 4x4 (at ~83 ns) and ~24%
+  on 8x8 (at ~122 ns);
+* PIM1 and WFA-base track each other;
+* beyond saturation the base policies' delivered throughput collapses
+  while the Rotary-Rule variants keep climbing (+16% WFA, +43% SPAA
+  at ~280 ns on 8x8).
+
+The sweeps run on the saturation-calibrated buffer plan (see
+``repro.sim.config.saturation_buffer_plan``), which our model needs
+for back-pressure to bind at the paper's saturation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.registry import TIMING_ALGORITHMS
+from repro.experiments.report import bnf_plot, curves_table, format_table
+from repro.sim.config import (
+    NetworkConfig,
+    SimulationConfig,
+    TrafficConfig,
+    saturation_buffer_plan,
+)
+from repro.sim.metrics import BNFCurve
+from repro.sim.sweep import sweep_algorithms, throughput_gain_at_latency
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One subplot of Figure 10."""
+
+    name: str
+    width: int
+    height: int
+    pattern: str
+    rates: tuple[float, ...]
+    #: latency at which the paper quotes the SPAA-vs-WFA gain
+    headline_latency_ns: float
+    #: latency at which the paper quotes the rotary-vs-base gain
+    rotary_latency_ns: float | None = None
+
+
+PANELS: tuple[Panel, ...] = (
+    Panel("4x4, Random Traffic", 4, 4, "uniform",
+          (0.002, 0.005, 0.01, 0.02, 0.03, 0.045, 0.065),
+          headline_latency_ns=83.0),
+    Panel("8x8, Random Traffic", 8, 8, "uniform",
+          (0.002, 0.005, 0.01, 0.02, 0.03, 0.045, 0.065),
+          headline_latency_ns=122.0, rotary_latency_ns=280.0),
+    Panel("8x8, Bit Reversal", 8, 8, "bit-reversal",
+          (0.002, 0.005, 0.01, 0.02, 0.03, 0.045, 0.065),
+          headline_latency_ns=122.0, rotary_latency_ns=280.0),
+    Panel("8x8, Perfect Shuffle", 8, 8, "perfect-shuffle",
+          (0.002, 0.005, 0.01, 0.02, 0.03, 0.045, 0.065),
+          headline_latency_ns=122.0, rotary_latency_ns=280.0),
+)
+
+#: (warmup, measure) cycles per preset; "paper" matches the 75 000-cycle
+#: runs of section 4.3.
+PRESETS: dict[str, tuple[int, int]] = {
+    "paper": (15_000, 60_000),
+    "fast": (3_000, 9_000),
+    "smoke": (1_000, 2_000),
+}
+
+
+@dataclass
+class Figure10Result:
+    preset: str
+    panels: dict[str, dict[str, BNFCurve]] = field(default_factory=dict)
+
+    def headline_gains(self, panel: Panel) -> list[tuple[str, float]]:
+        """The paper-style comparisons for one panel."""
+        curves = self.panels[panel.name]
+        gains = [(
+            "SPAA-base over WFA-base "
+            f"@{panel.headline_latency_ns:.0f}ns",
+            throughput_gain_at_latency(
+                curves["SPAA-base"], curves["WFA-base"],
+                panel.headline_latency_ns,
+            ),
+        ), (
+            "SPAA-base over PIM1 "
+            f"@{panel.headline_latency_ns:.0f}ns",
+            throughput_gain_at_latency(
+                curves["SPAA-base"], curves["PIM1"], panel.headline_latency_ns
+            ),
+        )]
+        if panel.rotary_latency_ns is not None:
+            gains.append((
+                f"SPAA-rotary over SPAA-base @{panel.rotary_latency_ns:.0f}ns",
+                throughput_gain_at_latency(
+                    curves["SPAA-rotary"], curves["SPAA-base"],
+                    panel.rotary_latency_ns,
+                ),
+            ))
+            gains.append((
+                f"WFA-rotary over WFA-base @{panel.rotary_latency_ns:.0f}ns",
+                throughput_gain_at_latency(
+                    curves["WFA-rotary"], curves["WFA-base"],
+                    panel.rotary_latency_ns,
+                ),
+            ))
+        return gains
+
+
+def panel_config(panel: Panel, preset: str = "fast", seed: int = 42) -> SimulationConfig:
+    """The SimulationConfig one panel sweeps (rate filled per point)."""
+    warmup, measure = PRESETS[preset]
+    return SimulationConfig(
+        network=NetworkConfig(
+            width=panel.width,
+            height=panel.height,
+            buffer_plan=saturation_buffer_plan(),
+        ),
+        traffic=TrafficConfig(pattern=panel.pattern, injection_rate=0.01),
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        seed=seed,
+    )
+
+
+def run_panel(
+    panel: Panel,
+    preset: str = "fast",
+    algorithms: tuple[str, ...] = TIMING_ALGORITHMS,
+    seed: int = 42,
+    progress=None,
+) -> dict[str, BNFCurve]:
+    """Sweep one Figure 10 panel."""
+    config = panel_config(panel, preset, seed)
+    return sweep_algorithms(config, algorithms, panel.rates, progress)
+
+
+def run_figure10(
+    preset: str = "fast",
+    panels: tuple[Panel, ...] = PANELS,
+    algorithms: tuple[str, ...] = TIMING_ALGORITHMS,
+    seed: int = 42,
+    progress=None,
+) -> Figure10Result:
+    """Regenerate every panel of Figure 10."""
+    result = Figure10Result(preset=preset)
+    for panel in panels:
+        if progress is not None:
+            progress(f"--- {panel.name} ---")
+        result.panels[panel.name] = run_panel(
+            panel, preset, algorithms, seed, progress
+        )
+    return result
+
+
+def format_figure10(result: Figure10Result) -> str:
+    sections = []
+    panels_by_name = {panel.name: panel for panel in PANELS}
+    for name, curves in result.panels.items():
+        parts = [f"== Figure 10 panel: {name} (preset={result.preset}) =="]
+        parts.append(curves_table(curves))
+        parts.append(bnf_plot(curves))
+        panel = panels_by_name.get(name)
+        if panel is not None:
+            parts.append(
+                format_table(
+                    ("comparison", "measured gain"),
+                    [
+                        (label, f"{gain:+.1%}")
+                        for label, gain in result.headline_gains(panel)
+                    ],
+                    title="Headline gains (paper: +11% 4x4 / +24% 8x8; "
+                          "rotary +43% SPAA, +16% WFA)",
+                )
+            )
+        sections.append("\n\n".join(parts))
+    return "\n\n\n".join(sections)
+
+
+def main(preset: str = "fast") -> None:  # pragma: no cover - CLI glue
+    print(format_figure10(run_figure10(preset=preset, progress=print)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

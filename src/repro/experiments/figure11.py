@@ -1,0 +1,167 @@
+"""Figure 11: scaling studies -- deeper pipelines, more misses, bigger nets.
+
+Three panels, each sweeping PIM1, WFA-rotary and SPAA-rotary:
+
+* (a) a pipeline twice as deep at twice the frequency (arbitration
+  latencies 8/8/6): SPAA-rotary, being pipelined, wins by >60% at
+  ~100 ns;
+* (b) 64 outstanding misses per processor (the cancelled 21464's
+  figure): SPAA-rotary ~13% over WFA-rotary at ~200 ns;
+* (c) a 144-processor 12x12 network (beyond the product's 128 limit):
+  SPAA-rotary ~18% over WFA-rotary at ~200 ns, though at extreme load
+  WFA-rotary's output-arbiter synchronization lets it keep climbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.report import bnf_plot, curves_table, format_table
+from repro.sim.config import (
+    NetworkConfig,
+    SimulationConfig,
+    TrafficConfig,
+    saturation_buffer_plan,
+)
+from repro.sim.metrics import BNFCurve
+from repro.sim.sweep import sweep_algorithms, throughput_gain_at_latency
+
+SCALING_ALGORITHMS = ("PIM1", "WFA-rotary", "SPAA-rotary")
+
+PRESETS: dict[str, tuple[int, int]] = {
+    "paper": (15_000, 60_000),
+    "fast": (3_000, 9_000),
+    "smoke": (1_000, 2_000),
+}
+
+
+@dataclass(frozen=True)
+class ScalingPanel:
+    key: str
+    name: str
+    width: int
+    height: int
+    mshr_limit: int
+    pipeline_scale: int
+    rates: tuple[float, ...]
+    headline_latency_ns: float
+    baseline: str = "WFA-rotary"
+
+
+PANELS: tuple[ScalingPanel, ...] = (
+    ScalingPanel(
+        "a", "2x Pipeline, 8x8, Random Traffic", 8, 8,
+        mshr_limit=16, pipeline_scale=2,
+        rates=(0.004, 0.01, 0.02, 0.04, 0.06, 0.09, 0.13),
+        headline_latency_ns=100.0,
+    ),
+    ScalingPanel(
+        "b", "64 requests, 8x8, Random Traffic", 8, 8,
+        mshr_limit=64, pipeline_scale=1,
+        rates=(0.002, 0.005, 0.01, 0.02, 0.03, 0.045, 0.065),
+        headline_latency_ns=200.0,
+    ),
+    ScalingPanel(
+        "c", "12x12, Random Traffic", 12, 12,
+        mshr_limit=16, pipeline_scale=1,
+        rates=(0.002, 0.005, 0.01, 0.02, 0.03, 0.045, 0.065),
+        headline_latency_ns=200.0,
+    ),
+)
+
+
+@dataclass
+class Figure11Result:
+    preset: str
+    panels: dict[str, dict[str, BNFCurve]] = field(default_factory=dict)
+    panel_specs: dict[str, ScalingPanel] = field(default_factory=dict)
+
+    def headline_gain(self, panel: ScalingPanel) -> float:
+        """SPAA-rotary's throughput gain over the panel baseline."""
+        curves = self.panels[panel.name]
+        return throughput_gain_at_latency(
+            curves["SPAA-rotary"], curves[panel.baseline],
+            panel.headline_latency_ns,
+        )
+
+
+def panel_config(
+    panel: ScalingPanel, preset: str = "fast", seed: int = 42
+) -> SimulationConfig:
+    warmup, measure = PRESETS[preset]
+    return SimulationConfig(
+        network=NetworkConfig(
+            width=panel.width,
+            height=panel.height,
+            buffer_plan=saturation_buffer_plan(),
+            pipeline_scale=panel.pipeline_scale,
+        ),
+        traffic=TrafficConfig(
+            pattern="uniform",
+            injection_rate=0.01,
+            mshr_limit=panel.mshr_limit,
+        ),
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        seed=seed,
+    )
+
+
+def run_panel(
+    panel: ScalingPanel,
+    preset: str = "fast",
+    algorithms: tuple[str, ...] = SCALING_ALGORITHMS,
+    seed: int = 42,
+    progress=None,
+) -> dict[str, BNFCurve]:
+    config = panel_config(panel, preset, seed)
+    return sweep_algorithms(config, algorithms, panel.rates, progress)
+
+
+def run_figure11(
+    preset: str = "fast",
+    panels: tuple[ScalingPanel, ...] = PANELS,
+    algorithms: tuple[str, ...] = SCALING_ALGORITHMS,
+    seed: int = 42,
+    progress=None,
+) -> Figure11Result:
+    result = Figure11Result(preset=preset)
+    for panel in panels:
+        if progress is not None:
+            progress(f"--- Figure 11{panel.key}: {panel.name} ---")
+        result.panel_specs[panel.name] = panel
+        result.panels[panel.name] = run_panel(
+            panel, preset, algorithms, seed, progress
+        )
+    return result
+
+
+def format_figure11(result: Figure11Result) -> str:
+    sections = []
+    paper_numbers = {"a": ">+60%", "b": "~+13%", "c": "~+18%"}
+    for name, curves in result.panels.items():
+        panel = result.panel_specs[name]
+        parts = [f"== Figure 11{panel.key}: {name} (preset={result.preset}) =="]
+        parts.append(curves_table(curves))
+        parts.append(bnf_plot(curves))
+        parts.append(
+            format_table(
+                ("comparison", "measured", "paper"),
+                [(
+                    f"SPAA-rotary over {panel.baseline} "
+                    f"@{panel.headline_latency_ns:.0f}ns",
+                    f"{result.headline_gain(panel):+.1%}",
+                    paper_numbers.get(panel.key, "n/a"),
+                )],
+            )
+        )
+        sections.append("\n\n".join(parts))
+    return "\n\n\n".join(sections)
+
+
+def main(preset: str = "fast") -> None:  # pragma: no cover - CLI glue
+    print(format_figure11(run_figure11(preset=preset, progress=print)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,104 @@
+"""Figure 9: matching capability vs output-port occupancy.
+
+At the MCM saturation load, an increasing fraction of the seven output
+ports is held busy.  The paper's point: the algorithms' matching gaps
+shrink as occupancy grows and disappear entirely at 75% -- the
+realistic operating regime that justifies SPAA's simplicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.registry import STANDALONE_ALGORITHMS
+from repro.experiments.report import ascii_plot, format_table
+from repro.sim.standalone import (
+    StandaloneConfig,
+    find_mcm_saturation_load,
+    measure_matches,
+)
+
+DEFAULT_OCCUPANCIES = (0.0, 0.25, 0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    saturation_load: int
+    occupancies: tuple[float, ...]
+    series: dict[str, tuple[float, ...]]
+
+    def spread_at(self, occupancy: float) -> float:
+        """Relative spread (max-min)/min across algorithms."""
+        index = self.occupancies.index(occupancy)
+        values = [series[index] for series in self.series.values()]
+        low = min(values)
+        return (max(values) - low) / low if low else float("inf")
+
+
+def run_figure9(
+    trials: int = 1000,
+    seed: int = 42,
+    occupancies: tuple[float, ...] = DEFAULT_OCCUPANCIES,
+    algorithms: tuple[str, ...] = STANDALONE_ALGORITHMS,
+) -> Figure9Result:
+    """Regenerate the Figure 9 series."""
+    base = StandaloneConfig(trials=trials, seed=seed)
+    saturation = find_mcm_saturation_load(base)
+    series: dict[str, tuple[float, ...]] = {}
+    for algorithm in algorithms:
+        values = []
+        for occupancy in occupancies:
+            config = replace(
+                base, algorithm=algorithm, load=saturation, occupancy=occupancy
+            )
+            values.append(measure_matches(config))
+        series[algorithm] = tuple(values)
+    return Figure9Result(
+        saturation_load=saturation,
+        occupancies=tuple(occupancies),
+        series=series,
+    )
+
+
+def format_figure9(result: Figure9Result) -> str:
+    headers = ("fraction of outputs occupied",) + tuple(result.series)
+    rows = [
+        (f"{occupancy:.2f}",) + tuple(
+            result.series[algorithm][i] for algorithm in result.series
+        )
+        for i, occupancy in enumerate(result.occupancies)
+    ]
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 9: arbitration matches/cycle at the MCM saturation load "
+            f"({result.saturation_load} packets)"
+        ),
+    )
+    plot = ascii_plot(
+        {
+            algorithm: list(zip(result.occupancies, values))
+            for algorithm, values in result.series.items()
+        },
+        x_label="fraction of output ports occupied",
+        y_label="matches per cycle",
+        height=16,
+    )
+    spreads = format_table(
+        ("occupancy", "spread across algorithms"),
+        [
+            (f"{occ:.2f}", f"{result.spread_at(occ):.1%}")
+            for occ in result.occupancies
+        ],
+        title="Algorithm spread (paper: negligible by 75% occupancy)",
+    )
+    return "\n\n".join([table, plot, spreads])
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    print(format_figure9(run_figure9()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""Network substrate: torus topology, packets, virtual channels, links."""
+
+from repro.network.channels import (
+    BufferPlan,
+    ChannelKind,
+    VirtualChannel,
+    all_virtual_channels,
+    default_buffer_plan,
+)
+from repro.network.links import DEFAULT_CLOCKS, DEFAULT_LINK, ClockSpec, LinkSpec
+from repro.network.packets import (
+    DATA_BITS_PER_FLIT,
+    ECC_BITS_PER_FLIT,
+    FLIT_BITS,
+    Packet,
+    PacketClass,
+)
+from repro.network.routing import (
+    adaptive_candidates,
+    dimension_order_direction,
+    escape_vc_after_hop,
+    is_productive,
+)
+from repro.network.topology import Direction, Torus2D
+
+__all__ = [
+    "BufferPlan",
+    "ChannelKind",
+    "ClockSpec",
+    "DATA_BITS_PER_FLIT",
+    "DEFAULT_CLOCKS",
+    "DEFAULT_LINK",
+    "Direction",
+    "ECC_BITS_PER_FLIT",
+    "FLIT_BITS",
+    "LinkSpec",
+    "Packet",
+    "PacketClass",
+    "Torus2D",
+    "VirtualChannel",
+    "adaptive_candidates",
+    "all_virtual_channels",
+    "default_buffer_plan",
+    "dimension_order_direction",
+    "escape_vc_after_hop",
+    "is_productive",
+]

@@ -1,0 +1,65 @@
+"""Router substrate: ports, buffers, connection matrix, pipeline, router."""
+
+from repro.router.buffers import BufferOverflowError, InputBuffer
+from repro.router.connection_matrix import (
+    DEFAULT_CONNECTION_MATRIX,
+    ConnectionMatrix,
+    default_connections,
+)
+from repro.router.pipeline import (
+    ARBITRATION_STAGES,
+    LOCAL_TO_NETWORK,
+    NETWORK_TO_NETWORK,
+    PipelineSpec,
+    Stage,
+    pin_to_pin_cycles,
+)
+from repro.router.ports import (
+    LOCAL_INPUTS,
+    LOCAL_OUTPUTS,
+    NUM_INPUT_PORTS,
+    NUM_OUTPUT_PORTS,
+    NUM_ROWS,
+    READ_PORTS_PER_INPUT,
+    TORUS_OUTPUTS,
+    InputPort,
+    OutputPort,
+    input_for_direction,
+    network_rows,
+    output_for_direction,
+    port_of_row,
+    row_of,
+)
+from repro.router.router import Dispatch, HopPlan, Launch, Router
+
+__all__ = [
+    "ARBITRATION_STAGES",
+    "BufferOverflowError",
+    "ConnectionMatrix",
+    "DEFAULT_CONNECTION_MATRIX",
+    "Dispatch",
+    "HopPlan",
+    "InputBuffer",
+    "InputPort",
+    "LOCAL_INPUTS",
+    "LOCAL_OUTPUTS",
+    "LOCAL_TO_NETWORK",
+    "Launch",
+    "NETWORK_TO_NETWORK",
+    "NUM_INPUT_PORTS",
+    "NUM_OUTPUT_PORTS",
+    "NUM_ROWS",
+    "OutputPort",
+    "PipelineSpec",
+    "READ_PORTS_PER_INPUT",
+    "Router",
+    "Stage",
+    "TORUS_OUTPUTS",
+    "default_connections",
+    "input_for_direction",
+    "network_rows",
+    "output_for_direction",
+    "pin_to_pin_cycles",
+    "port_of_row",
+    "row_of",
+]

@@ -1,0 +1,130 @@
+"""Per-input-port packet buffering with virtual-channel partitions.
+
+The 21364 provides buffer space for 316 packets per input port to
+support virtual cut-through routing (a blocked packet is buffered
+whole).  Buffers are partitioned by virtual channel so a lower-priority
+coherence class can never block a higher one, and the escape channels
+VC0/VC1 keep their own (tiny) partitions.
+
+Space is reserved upstream at grant time and committed on arrival --
+the credit-based flow control of the hardware, modelled with immediate
+credit visibility (the simulator can read the downstream buffer
+directly; the few-cycle credit-return delay is folded into the
+pin-to-pin latency constant).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.channels import (
+    BufferPlan,
+    VirtualChannel,
+    all_virtual_channels,
+)
+from repro.network.packets import Packet
+
+
+class InputBuffer:
+    """Buffering for one input port: a FIFO per virtual channel."""
+
+    def __init__(self, plan: BufferPlan) -> None:
+        self._plan = plan
+        self._queues: dict[VirtualChannel, deque[Packet]] = {
+            channel: deque() for channel in all_virtual_channels()
+        }
+        self._reserved: dict[VirtualChannel, int] = {
+            channel: 0 for channel in self._queues
+        }
+        # Hot-path accounting: the simulator polls these every launch.
+        self._count = 0
+        self._nonempty: set[VirtualChannel] = set()
+
+    # -- capacity ----------------------------------------------------
+
+    def capacity(self, channel: VirtualChannel) -> int:
+        return self._plan.capacity(channel)
+
+    def free_slots(self, channel: VirtualChannel) -> int:
+        """Slots neither occupied nor promised to an in-flight packet."""
+        return (
+            self.capacity(channel)
+            - len(self._queues[channel])
+            - self._reserved[channel]
+        )
+
+    def can_reserve(self, channel: VirtualChannel) -> bool:
+        return self.free_slots(channel) > 0
+
+    def reserve(self, channel: VirtualChannel) -> None:
+        """Promise one slot to a packet granted upstream."""
+        if not self.can_reserve(channel):
+            raise BufferOverflowError(f"no free slot in {channel}")
+        self._reserved[channel] += 1
+
+    def cancel_reservation(self, channel: VirtualChannel) -> None:
+        if self._reserved[channel] <= 0:
+            raise ValueError(f"no reservation to cancel on {channel}")
+        self._reserved[channel] -= 1
+
+    # -- occupancy ---------------------------------------------------
+
+    def commit(self, packet: Packet, channel: VirtualChannel) -> None:
+        """Arrival: turn a reservation into an occupied slot."""
+        if self._reserved[channel] <= 0:
+            raise ValueError(f"arrival without reservation on {channel}")
+        self._reserved[channel] -= 1
+        self._queues[channel].append(packet)
+        self._count += 1
+        self._nonempty.add(channel)
+
+    def inject(self, packet: Packet, channel: VirtualChannel) -> bool:
+        """Local-port enqueue without a prior reservation.
+
+        Returns False (and leaves the buffer unchanged) when the
+        channel is full -- the caller holds the packet and retries,
+        which is how injection back-pressure throttles the processor.
+        """
+        if self.free_slots(channel) <= 0:
+            return False
+        self._queues[channel].append(packet)
+        self._count += 1
+        self._nonempty.add(channel)
+        return True
+
+    def head(self, channel: VirtualChannel) -> Packet | None:
+        queue = self._queues[channel]
+        return queue[0] if queue else None
+
+    def remove(self, packet: Packet, channel: VirtualChannel) -> None:
+        """Departure: the packet won arbitration and left the router."""
+        queue = self._queues[channel]
+        if not queue or queue[0] is not packet:
+            # Read-port arbiters only nominate FIFO heads, so a grant
+            # always removes the head; anything else is a model bug.
+            raise ValueError(f"{packet} is not at the head of {channel}")
+        queue.popleft()
+        self._count -= 1
+        if not queue:
+            self._nonempty.discard(channel)
+
+    # -- introspection -----------------------------------------------
+
+    def occupancy(self, channel: VirtualChannel | None = None) -> int:
+        if channel is not None:
+            return len(self._queues[channel])
+        return self._count
+
+    def channels_with_waiting(self) -> set[VirtualChannel]:
+        """Channels holding at least one packet (a live set: don't mutate)."""
+        return self._nonempty
+
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    def total_capacity(self) -> int:
+        return self._plan.total_packets()
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when flow control is violated (a slot was not reserved)."""

@@ -1,0 +1,103 @@
+"""The 21364 router pipeline stages (Figure 4), as reference data.
+
+The timing simulator collapses the pipeline into a handful of latency
+constants (see :mod:`repro.network.links` and
+:mod:`repro.core.timing`); this module keeps the full stage-by-stage
+structure so documentation, tests and latency budgets can refer to the
+real pipeline.  Stage mnemonics follow the paper: RT = router-table
+lookup, DW = decode & write entry table, LA = input-port (local)
+arbitration, RE = read entry table & transport, GA = output-port
+(global) arbitration, WrQ/RQ = write/read input queue, X = crossbar,
+ECC = error correction, T = transport, W = wait, Nop = no operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Stage(enum.Enum):
+    RT = "router table lookup"
+    NOP = "no operation"
+    T = "transport (wire delay)"
+    DW = "decode and write entry table"
+    LA = "input port arbitration"
+    RE = "read entry table and transport"
+    GA = "output port arbitration"
+    W = "wait"
+    WRQ = "write input queue"
+    RQ = "read input queue"
+    X = "crossbar"
+    ECC = "error correction code"
+
+
+#: The three arbitration stages this paper studies.
+ARBITRATION_STAGES = (Stage.LA, Stage.RE, Stage.GA)
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineSpec:
+    """One of the nine logical router pipelines (input kind x output kind)."""
+
+    name: str
+    scheduling_stages: tuple[Stage, ...]
+    data_stages: tuple[Stage, ...]
+
+    @property
+    def scheduling_latency(self) -> int:
+        """Cycles of the first flit's scheduling pipeline."""
+        return len(self.scheduling_stages)
+
+    @property
+    def data_latency(self) -> int:
+        """Cycles of the data pipeline followed by every flit."""
+        return len(self.data_stages)
+
+    @property
+    def arbitration_latency(self) -> int:
+        """Cycles spent in LA/RE/GA -- what SPAA's 3 cycles refer to."""
+        return sum(
+            1 for stage in self.scheduling_stages if stage in ARBITRATION_STAGES
+        )
+
+
+#: Figure 4(a): local input port to interprocessor output port.
+LOCAL_TO_NETWORK = PipelineSpec(
+    name="local->network",
+    scheduling_stages=(
+        Stage.RT, Stage.NOP, Stage.NOP, Stage.DW, Stage.LA, Stage.RE, Stage.GA
+    ),
+    data_stages=(
+        Stage.NOP, Stage.NOP, Stage.NOP, Stage.WRQ, Stage.W, Stage.RQ,
+        Stage.X, Stage.ECC,
+    ),
+)
+
+#: Figure 4(b): interprocessor input port to interprocessor output port.
+NETWORK_TO_NETWORK = PipelineSpec(
+    name="network->network",
+    scheduling_stages=(
+        Stage.ECC, Stage.T, Stage.DW, Stage.LA, Stage.RE, Stage.GA
+    ),
+    data_stages=(
+        Stage.ECC, Stage.NOP, Stage.WRQ, Stage.W, Stage.RQ, Stage.X, Stage.ECC
+    ),
+)
+
+
+#: Extra cycles outside the pipeline on a network-to-network path:
+#: synchronization, pad receiver/driver and pin<->router transport
+#: (paper section 2.2), bringing pin-to-pin latency to 13 cycles.
+EXTRA_DELAY_CYCLES = 6
+
+
+def pin_to_pin_cycles() -> int:
+    """On-chip pin-to-pin latency: 13 cycles at 1.2 GHz (10.8 ns)."""
+    # The first flit's scheduling pipeline overlaps the data pipeline's
+    # front end; the packet leaves the chip one X+ECC after GA.
+    return (
+        NETWORK_TO_NETWORK.scheduling_latency
+        + 1  # crossbar traversal after GA
+        + EXTRA_DELAY_CYCLES
+    )

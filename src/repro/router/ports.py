@@ -1,0 +1,119 @@
+"""Port naming for the 21364 router: 8 input ports, 7 output ports.
+
+Input ports: four 2D-torus ports (north/south/east/west), one cache
+port, two memory-controller ports and one I/O port.  Output ports:
+four torus ports, two local ports L0/L1 (each tied to a memory
+controller *and* the internal cache -- there is no separate cache
+output port) and one I/O port (paper section 2.1).
+
+Every input buffer has two read ports; each (input port, read port)
+pair owns one of the 16 input-port arbiters, indexed by *row* in the
+connection matrix of Figure 5.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.network.topology import Direction
+
+
+class InputPort(enum.IntEnum):
+    NORTH = 0
+    SOUTH = 1
+    EAST = 2
+    WEST = 3
+    CACHE = 4
+    MC0 = 5
+    MC1 = 6
+    IO = 7
+
+    @property
+    def is_network(self) -> bool:
+        """Torus ports carry traffic already in the network."""
+        return self <= InputPort.WEST
+
+    @property
+    def direction(self) -> Direction:
+        """The torus direction of a network input port."""
+        if self > InputPort.WEST:
+            raise ValueError(f"{self.name} is a local port")
+        return _DIRECTIONS[self]
+
+
+class OutputPort(enum.IntEnum):
+    NORTH = 0
+    SOUTH = 1
+    EAST = 2
+    WEST = 3
+    L0 = 4
+    L1 = 5
+    IO = 6
+
+    @property
+    def is_network(self) -> bool:
+        return self <= OutputPort.WEST
+
+    @property
+    def is_local(self) -> bool:
+        return not self.is_network
+
+    @property
+    def direction(self) -> Direction:
+        if not self.is_network:
+            raise ValueError(f"{self.name} is a local port")
+        return Direction(int(self))
+
+
+NUM_INPUT_PORTS = len(InputPort)
+NUM_OUTPUT_PORTS = len(OutputPort)
+READ_PORTS_PER_INPUT = 2
+NUM_ROWS = NUM_INPUT_PORTS * READ_PORTS_PER_INPUT  # 16 input-port arbiters
+
+TORUS_OUTPUTS = (OutputPort.NORTH, OutputPort.SOUTH, OutputPort.EAST, OutputPort.WEST)
+LOCAL_OUTPUTS = (OutputPort.L0, OutputPort.L1, OutputPort.IO)
+LOCAL_INPUTS = (InputPort.CACHE, InputPort.MC0, InputPort.MC1, InputPort.IO)
+
+
+def row_of(port: InputPort, read_port: int) -> int:
+    """Connection-matrix row of one read-port arbiter."""
+    if not 0 <= read_port < READ_PORTS_PER_INPUT:
+        raise ValueError(f"read port {read_port} out of range")
+    return int(port) * READ_PORTS_PER_INPUT + read_port
+
+
+def port_of_row(row: int) -> tuple[InputPort, int]:
+    """Inverse of :func:`row_of`."""
+    if not 0 <= row < NUM_ROWS:
+        raise ValueError(f"row {row} out of range")
+    return InputPort(row // READ_PORTS_PER_INPUT), row % READ_PORTS_PER_INPUT
+
+
+def network_rows() -> tuple[int, ...]:
+    """Rows fed by torus input ports (the Rotary Rule's priority set)."""
+    return tuple(
+        row_of(port, rp)
+        for port in InputPort
+        if port.is_network
+        for rp in range(READ_PORTS_PER_INPUT)
+    )
+
+
+def output_for_direction(direction: Direction) -> OutputPort:
+    """The torus output port that sends packets in *direction*."""
+    return _OUTPUT_FOR_DIRECTION[direction]
+
+
+def input_for_direction(direction: Direction) -> InputPort:
+    """The input port receiving packets that travelled in *direction*.
+
+    A packet moving EAST leaves via the EAST output and arrives at the
+    downstream router's WEST input port.
+    """
+    return _INPUT_FOR_DIRECTION[direction]
+
+
+# Hot-path lookup tables (enum construction is surprisingly costly).
+_DIRECTIONS = {port: Direction(int(port)) for port in list(InputPort)[:4]}
+_OUTPUT_FOR_DIRECTION = {d: OutputPort(int(d)) for d in Direction}
+_INPUT_FOR_DIRECTION = {d: InputPort(int(d.opposite)) for d in Direction}

@@ -1,0 +1,456 @@
+"""The 21364 router model used by the timing simulator.
+
+A :class:`Router` owns the per-input-port buffers, the output-port busy
+state, the 16 read-port input arbiters (the LA pipeline stage) and one
+arbitration-algorithm instance (the GA stage).  The timing simulator
+drives it with two calls per arbitration *launch*:
+
+* :meth:`nominate` at cycle ``t`` builds the launch's nominations --
+  each read-port arbiter picks the oldest packet from its
+  least-recently-selected virtual channel that passes the readiness
+  tests (connected output, output predicted free at grant time,
+  downstream buffer space) -- and marks those packets in flight.
+* :meth:`resolve` at cycle ``t + latency`` re-checks readiness (the
+  speculation window: a pipelined SPAA launch may discover its output
+  was just taken), runs the arbitration algorithm, applies the grants
+  (buffer departure, output busy time, downstream reservation) and
+  releases the losers for re-nomination.
+
+Everything timing related (when launches happen, event scheduling) is
+the simulator's job; the router is purely reactive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.antistarvation import AntiStarvationTracker
+from repro.core.base import Arbiter
+from repro.core.types import Grant, Nomination, SourceKind
+from repro.network.channels import (
+    BufferPlan,
+    ChannelKind,
+    VirtualChannel,
+    adaptive_channel,
+    all_virtual_channels,
+    escape_channel,
+)
+from repro.network.packets import Packet
+from repro.network.routing import (
+    adaptive_candidates,
+    dimension_order_direction,
+    escape_vc_after_hop,
+)
+from repro.network.topology import Direction, Torus2D
+from repro.router.buffers import InputBuffer
+from repro.router.connection_matrix import ConnectionMatrix
+from repro.router.ports import (
+    InputPort,
+    NUM_OUTPUT_PORTS,
+    OutputPort,
+    READ_PORTS_PER_INPUT,
+    output_for_direction,
+    row_of,
+)
+
+#: fixed tie-break order for LRS channel selection (determinism).
+_CHANNEL_RANK = {c: i for i, c in enumerate(all_virtual_channels())}
+_channel_rank = _CHANNEL_RANK.__getitem__
+
+
+@dataclass(slots=True)
+class HopPlan:
+    """Bookkeeping for one nominated (packet, output) candidate."""
+
+    packet: Packet
+    in_port: InputPort
+    from_channel: VirtualChannel
+    output: OutputPort
+    #: channel at the downstream router (None when sinking locally)
+    target_channel: VirtualChannel | None
+    direction: Direction | None
+
+
+@dataclass(slots=True)
+class Launch:
+    """One in-flight arbitration: nominations plus their hop plans."""
+
+    time: float
+    nominations: list[Nomination]
+    plans: dict[tuple[int, int, int], HopPlan]
+
+
+@dataclass(slots=True)
+class Dispatch:
+    """A granted packet leaving the router; consumed by the simulator."""
+
+    packet: Packet
+    plan: HopPlan
+    grant_time: float
+    service_cycles: float
+
+
+class Router:
+    """One 21364 router inside the timing model."""
+
+    def __init__(
+        self,
+        node: int,
+        topology: Torus2D,
+        arbiter: Arbiter,
+        buffer_plan: BufferPlan,
+        matrix: ConnectionMatrix,
+        antistarvation: AntiStarvationTracker,
+        rng: random.Random,
+        torus_cycles_per_flit: float = 1.5,
+        local_cycles_per_flit: float = 1.0,
+    ) -> None:
+        self.node = node
+        self.topology = topology
+        self.arbiter = arbiter
+        self.matrix = matrix
+        self.antistarvation = antistarvation
+        self.rng = rng
+        self.torus_cycles_per_flit = torus_cycles_per_flit
+        self.local_cycles_per_flit = local_cycles_per_flit
+        #: wire-delay cycles between the grant decision and the packet
+        #: reaching the output (PIM1/WFA's pipelined fourth cycle);
+        #: set by the simulator from the algorithm's timing.
+        self.output_tail_cycles = 0.0
+
+        self.buffers: dict[InputPort, InputBuffer] = {
+            port: InputBuffer(buffer_plan) for port in InputPort
+        }
+        self.output_busy_until = [0.0] * NUM_OUTPUT_PORTS
+        #: downstream wiring, filled in by the simulator:
+        #: torus output -> (neighbor router, neighbor's input port)
+        self.downstream: dict[OutputPort, tuple["Router", InputPort]] = {}
+        self._in_flight: set[int] = set()
+        #: rows with an unresolved nomination -- SPAA's "small list of
+        #: in-flight packets, only 16": each input-port arbiter keeps at
+        #: most one nomination outstanding until its Reset step.
+        self._row_in_flight: set[int] = set()
+        #: per-row least-recently-selected stamps per virtual channel;
+        #: never-selected channels rank oldest, ties break on a fixed
+        #: channel index so simulations stay deterministic.
+        self._vc_stamp: dict[int, dict[VirtualChannel, int]] = {}
+        self._vc_clock = 0
+        #: per-row rotation for picking one of two adaptive outputs
+        self._output_toggle: dict[int, int] = {}
+        #: launch gating, managed by the simulator
+        self.last_launch_time = float("-inf")
+        self.launch_scheduled_at: float | None = None
+
+    # -- nomination (the LA stage) -------------------------------------
+
+    def nominate(
+        self,
+        now: float,
+        resolve_time: float,
+        fanout: int,
+        nominations_per_port: int = READ_PORTS_PER_INPUT,
+    ) -> Launch | None:
+        """Build one arbitration launch; None when nothing is ready."""
+        nominations: list[Nomination] = []
+        plans: dict[tuple[int, int, int], HopPlan] = {}
+        for port in InputPort:
+            buffer = self.buffers[port]
+            if buffer.is_empty():
+                continue
+            port_nominations = 0
+            for read_port in range(READ_PORTS_PER_INPUT):
+                if port_nominations >= nominations_per_port:
+                    break
+                row = row_of(port, read_port)
+                if row in self._row_in_flight:
+                    # Each read-port arbiter keeps at most one
+                    # nomination outstanding (SPAA's Reset step); with
+                    # one nomination per port per launch the pair
+                    # alternates read ports across launches, giving the
+                    # paper's 16-entry in-flight list.
+                    continue
+                picked = self._pick_for_row(row, port, buffer, resolve_time, fanout)
+                if picked is None:
+                    continue
+                packet, channel, candidates = picked
+                outputs = tuple(int(plan.output) for plan in candidates)
+                nominations.append(
+                    Nomination(
+                        row=row,
+                        packet=packet.uid,
+                        outputs=outputs,
+                        source=(
+                            SourceKind.NETWORK if port.is_network else SourceKind.LOCAL
+                        ),
+                        age=max(0, int(now - packet.waiting_since)),
+                        group=int(port),
+                        group_capacity=READ_PORTS_PER_INPUT,
+                    )
+                )
+                for plan in candidates:
+                    plans[(row, packet.uid, int(plan.output))] = plan
+                self._in_flight.add(packet.uid)
+                self._row_in_flight.add(row)
+                self._touch_vc(row, channel)
+                port_nominations += 1
+        if not nominations:
+            return None
+        return Launch(time=now, nominations=nominations, plans=plans)
+
+    def _pick_for_row(
+        self,
+        row: int,
+        port: InputPort,
+        buffer: InputBuffer,
+        resolve_time: float,
+        fanout: int,
+    ) -> tuple[Packet, VirtualChannel, list[HopPlan]] | None:
+        """The read-port arbiter: oldest packet from the LRS channel."""
+        for channel in self._channels_in_lrs_order(row, buffer):
+            packet = buffer.head(channel)
+            if packet is None or packet.uid in self._in_flight:
+                continue
+            candidates = self._candidate_plans(
+                row, port, packet, channel, resolve_time
+            )
+            if not candidates:
+                continue
+            if fanout == 1 and len(candidates) > 1:
+                # SPAA commits to a single output; rotate the choice so
+                # both adaptive directions get exercised over time.
+                toggle = self._output_toggle.get(row, 0)
+                candidates = [candidates[toggle % len(candidates)]]
+                self._output_toggle[row] = toggle + 1
+            else:
+                candidates = candidates[:fanout]
+            return packet, channel, candidates
+        return None
+
+    def _channels_in_lrs_order(
+        self, row: int, buffer: InputBuffer
+    ) -> list[VirtualChannel]:
+        nonempty = buffer.channels_with_waiting()
+        if len(nonempty) <= 1:
+            return list(nonempty)
+        stamps = self._vc_stamp.get(row)
+        if stamps is None:
+            return sorted(nonempty, key=_channel_rank)
+        return sorted(
+            nonempty, key=lambda c: (stamps.get(c, 0), _channel_rank(c))
+        )
+
+    def _touch_vc(self, row: int, channel: VirtualChannel) -> None:
+        self._vc_clock += 1
+        self._vc_stamp.setdefault(row, {})[channel] = self._vc_clock
+
+    # -- readiness tests ------------------------------------------------
+
+    def _candidate_plans(
+        self,
+        row: int,
+        port: InputPort,
+        packet: Packet,
+        channel: VirtualChannel,
+        resolve_time: float,
+    ) -> list[HopPlan]:
+        if packet.destination == self.node:
+            return self._sink_plans(row, port, packet, channel, resolve_time)
+        plans: list[HopPlan] = []
+        if packet.pclass.adaptive_allowed:
+            for direction in adaptive_candidates(
+                self.topology, self.node, packet.destination
+            ):
+                plan = self._network_plan(
+                    row, port, packet, channel, direction,
+                    adaptive_channel(packet.pclass), resolve_time,
+                )
+                if plan is not None:
+                    plans.append(plan)
+            if plans:
+                return plans
+        # Blocked adaptively (or I/O-class): try the escape network.
+        direction = dimension_order_direction(
+            self.topology, self.node, packet.destination
+        )
+        if direction is None:
+            return []
+        vc_index = escape_vc_after_hop(self.topology, packet, self.node, direction)
+        plan = self._network_plan(
+            row, port, packet, channel, direction,
+            escape_channel(packet.pclass, vc_index), resolve_time,
+        )
+        return [plan] if plan is not None else []
+
+    def _network_plan(
+        self,
+        row: int,
+        port: InputPort,
+        packet: Packet,
+        channel: VirtualChannel,
+        direction: Direction,
+        target_channel: VirtualChannel,
+        resolve_time: float,
+    ) -> HopPlan | None:
+        # Checks ordered cheapest-first: this test runs millions of
+        # times per simulation.  Torus output index == direction value.
+        out_index = int(direction)
+        if self.output_busy_until[out_index] > resolve_time:
+            return None
+        if (row, out_index) not in self.matrix.cells:
+            return None
+        # A packet arriving at torus input port P came from the
+        # neighbor in direction P; leaving via output P would reverse,
+        # which minimal-rectangle routing never does.
+        if int(port) == out_index and port.is_network:
+            return None
+        output = output_for_direction(direction)
+        neighbor, in_port = self.downstream[output]
+        if not neighbor.buffers[in_port].can_reserve(target_channel):
+            return None
+        return HopPlan(
+            packet=packet,
+            in_port=port,
+            from_channel=channel,
+            output=output,
+            target_channel=target_channel,
+            direction=direction,
+        )
+
+    def _sink_plans(
+        self,
+        row: int,
+        port: InputPort,
+        packet: Packet,
+        channel: VirtualChannel,
+        resolve_time: float,
+    ) -> list[HopPlan]:
+        sinks = packet.sink_outputs
+        if sinks is None:
+            sinks = (int(OutputPort.L0), int(OutputPort.L1))
+        plans = []
+        for out in sinks:
+            output = OutputPort(out)
+            if not self.matrix.connected(row, output):
+                continue
+            if self.output_busy_until[int(output)] > resolve_time:
+                continue
+            plans.append(
+                HopPlan(
+                    packet=packet,
+                    in_port=port,
+                    from_channel=channel,
+                    output=output,
+                    target_channel=None,
+                    direction=None,
+                )
+            )
+        return plans
+
+    # -- resolution (the GA stage) ---------------------------------------
+
+    def resolve(self, now: float, launch: Launch) -> list[Dispatch]:
+        """Run the arbitration algorithm and apply its grants."""
+        live: list[Nomination] = []
+        for nom in launch.nominations:
+            outputs = tuple(
+                out
+                for out in nom.outputs
+                if self._still_ready(launch.plans[(nom.row, nom.packet, out)], now)
+            )
+            self._row_in_flight.discard(nom.row)
+            if outputs:
+                if outputs != nom.outputs:
+                    nom = Nomination(
+                        row=nom.row,
+                        packet=nom.packet,
+                        outputs=outputs,
+                        source=nom.source,
+                        age=nom.age,
+                        group=nom.group,
+                        group_capacity=nom.group_capacity,
+                    )
+                live.append(nom)
+            else:
+                self._in_flight.discard(nom.packet)
+        if not live:
+            return []
+
+        live = self.antistarvation.classify(live)
+        free_outputs = frozenset(
+            out
+            for out in range(NUM_OUTPUT_PORTS)
+            if self.output_busy_until[out] <= now
+        )
+        grants = self.arbiter.arbitrate(live, free_outputs)
+        granted = {nom_key for nom_key in ((g.row, g.packet) for g in grants)}
+        for nom in live:
+            if (nom.row, nom.packet) not in granted:
+                self._in_flight.discard(nom.packet)
+        return [self._apply_grant(grant, launch, now) for grant in grants]
+
+    def upstream_node(self, port: InputPort) -> int:
+        """The neighbor feeding a torus input port."""
+        if not port.is_network:
+            raise ValueError(f"{port.name} has no upstream router")
+        return self.topology.neighbor(self.node, port.direction)
+
+    def _still_ready(self, plan: HopPlan, now: float) -> bool:
+        if self.output_busy_until[int(plan.output)] > now:
+            return False
+        if plan.target_channel is None:
+            return True
+        neighbor, in_port = self.downstream[plan.output]
+        return neighbor.buffers[in_port].can_reserve(plan.target_channel)
+
+    def _apply_grant(self, grant: Grant, launch: Launch, now: float) -> Dispatch:
+        plan = launch.plans[(grant.row, grant.packet, grant.output)]
+        packet = plan.packet
+        self.buffers[plan.in_port].remove(packet, plan.from_channel)
+        self._in_flight.discard(packet.uid)
+        if plan.target_channel is None:
+            cycles_per_flit = self.local_cycles_per_flit
+        else:
+            cycles_per_flit = self.torus_cycles_per_flit
+            neighbor, in_port = self.downstream[plan.output]
+            neighbor.buffers[in_port].reserve(plan.target_channel)
+            packet.last_direction = plan.direction
+            packet.escape_vc = (
+                None
+                if plan.target_channel.kind is ChannelKind.ADAPTIVE
+                else (0 if plan.target_channel.kind is ChannelKind.VC0 else 1)
+            )
+            packet.hops += 1
+        service = packet.flits * cycles_per_flit
+        self.output_busy_until[int(plan.output)] = (
+            now + self.output_tail_cycles + service
+        )
+        return Dispatch(
+            packet=packet, plan=plan, grant_time=now, service_cycles=service
+        )
+
+    def reset_arbitration_state(self) -> None:
+        """Clear dynamic state (tests and back-to-back simulations)."""
+        self.arbiter.reset()
+        self.antistarvation.reset()
+        self._in_flight.clear()
+        self._row_in_flight.clear()
+        self._vc_stamp.clear()
+        self._vc_clock = 0
+        self._output_toggle.clear()
+        self.last_launch_time = float("-inf")
+        self.launch_scheduled_at = None
+
+    # -- introspection -----------------------------------------------------
+
+    def total_buffered(self) -> int:
+        return sum(buffer.occupancy() for buffer in self.buffers.values())
+
+    def has_arbitrable_work(self) -> bool:
+        """Cheap check: any non-in-flight packet waiting anywhere."""
+        for buffer in self.buffers.values():
+            for channel in buffer.channels_with_waiting():
+                head = buffer.head(channel)
+                if head is not None and head.uid not in self._in_flight:
+                    return True
+        return False

@@ -1,0 +1,289 @@
+"""The standalone (non-timing) single-router matching model.
+
+This reproduces the methodology behind Figures 8 and 9 (paper section
+5.1): load a single 21364 router with randomly generated packets, run
+one arbitration (every algorithm "takes one cycle"), count the matches,
+and average over many independently generated trials.
+
+Workload assumptions, straight from the paper:
+
+* all output ports are free (Figure 8) or a fixed fraction are
+  occupied (Figure 9);
+* 50% of the packets are local traffic destined for the local memory
+  controller and I/O output ports; the rest spread uniformly over the
+  torus output ports;
+* every algorithm obeys the basic router constraints -- adaptive
+  routing offers at most two candidate outputs per packet, the
+  connection matrix limits which read port reaches which output, and
+  an input port dispatches at most two packets (one per read port).
+
+The *load* is the number of packets resident in the router's input
+buffers; the **MCM saturation load** is the load beyond which MCM's
+match count stops improving (it plateaus just below seven, the output
+port count).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.core.registry import ArbiterContext, make_arbiter, nomination_style
+from repro.core.types import Nomination, SourceKind
+from repro.router.connection_matrix import DEFAULT_CONNECTION_MATRIX, ConnectionMatrix
+from repro.router.ports import (
+    InputPort,
+    LOCAL_OUTPUTS,
+    NUM_OUTPUT_PORTS,
+    TORUS_OUTPUTS,
+    network_rows,
+    row_of,
+)
+from repro.sim.metrics import RunningStats
+
+
+@dataclass(frozen=True, slots=True)
+class StandalonePacket:
+    """A waiting packet: identity, port, candidate outputs, age rank."""
+
+    uid: int
+    port: InputPort
+    outputs: tuple[int, ...]
+    age: int
+
+
+@dataclass(frozen=True)
+class StandaloneConfig:
+    """One matching-capability measurement.
+
+    Attributes:
+        algorithm: any name in the registry (``MCM``, ``PIM``,
+            ``PIM1``, ``WFA``, ``SPAA``, ...).
+        load: number of packets loaded into the router per trial.
+        occupancy: fraction of the seven output ports marked busy in
+            each trial (0, 0.25, 0.5, 0.75 in Figure 9).
+        local_fraction: share of packets destined for the local
+            (memory-controller / I/O) output ports.
+        two_direction_fraction: share of network packets with two
+            adaptive candidate outputs (the rest have one).
+        trials: arbitration iterations to average over (1000 in the
+            paper).
+        seed: RNG seed; trials are independent given the seed.
+    """
+
+    algorithm: str = "SPAA"
+    load: int = 16
+    occupancy: float = 0.0
+    local_fraction: float = 0.5
+    two_direction_fraction: float = 0.5
+    trials: int = 1000
+    seed: int = 42
+    matrix: ConnectionMatrix = field(default_factory=lambda: DEFAULT_CONNECTION_MATRIX)
+
+    def __post_init__(self) -> None:
+        if self.load < 1:
+            raise ValueError("load must be at least one packet")
+        if not 0.0 <= self.occupancy < 1.0:
+            raise ValueError("occupancy must be in [0, 1)")
+        if not 0.0 <= self.local_fraction <= 1.0:
+            raise ValueError("local_fraction must be in [0, 1]")
+        if not 0.0 <= self.two_direction_fraction <= 1.0:
+            raise ValueError("two_direction_fraction must be in [0, 1]")
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+
+
+class StandaloneRouterModel:
+    """Measures an algorithm's matches/cycle on random router states."""
+
+    def __init__(self, config: StandaloneConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._arbiter = make_arbiter(
+            config.algorithm,
+            ArbiterContext(
+                num_rows=16,
+                num_outputs=NUM_OUTPUT_PORTS,
+                network_rows=network_rows(),
+                rng=self._rng,
+            ),
+        )
+        style = nomination_style(config.algorithm)
+        self._uses_packet_pool = style == "pool"
+        self._single_output = style == "single-output"
+
+    def run(self) -> RunningStats:
+        """Average matches per arbitration over the configured trials."""
+        stats = RunningStats()
+        for _ in range(self.config.trials):
+            packets = self._generate_packets()
+            free_outputs = self._generate_free_outputs()
+            nominations = self._build_nominations(packets, free_outputs)
+            grants = self._arbiter.arbitrate(nominations, free_outputs)
+            stats.add(float(len(grants)))
+        return stats
+
+    # -- workload generation ------------------------------------------------
+
+    def _generate_packets(self) -> list[StandalonePacket]:
+        rng = self._rng
+        packets = []
+        for uid in range(self.config.load):
+            port = InputPort(rng.randrange(8))
+            if rng.random() < self.config.local_fraction:
+                outputs = (int(rng.choice(LOCAL_OUTPUTS)),)
+            else:
+                candidates = list(TORUS_OUTPUTS)
+                first = candidates.pop(rng.randrange(len(candidates)))
+                if rng.random() < self.config.two_direction_fraction:
+                    second = candidates[rng.randrange(len(candidates))]
+                    outputs = (int(first), int(second))
+                else:
+                    outputs = (int(first),)
+            packets.append(
+                StandalonePacket(uid=uid, port=port, outputs=outputs, age=uid)
+            )
+        # Oldest first within a port: lower uid == arrived earlier.
+        return packets
+
+    def _generate_free_outputs(self) -> frozenset[int]:
+        busy_count = round(self.config.occupancy * NUM_OUTPUT_PORTS)
+        busy = self._rng.sample(range(NUM_OUTPUT_PORTS), busy_count)
+        return frozenset(set(range(NUM_OUTPUT_PORTS)) - set(busy))
+
+    # -- nomination building --------------------------------------------------
+
+    def _build_nominations(
+        self,
+        packets: list[StandalonePacket],
+        free_outputs: frozenset[int],
+    ) -> list[Nomination]:
+        if self._uses_packet_pool:
+            return self._pool_nominations(packets)
+        if self._single_output:
+            return self._single_output_nominations(packets, free_outputs)
+        return self._per_cell_nominations(packets)
+
+    def _pool_nominations(self, packets: list[StandalonePacket]) -> list[Nomination]:
+        """MCM sees every waiting packet, capped only by port capacity."""
+        return [
+            Nomination(
+                row=packet.uid,  # unique row per packet: no row conflicts
+                packet=packet.uid,
+                outputs=packet.outputs,
+                group=int(packet.port),
+                group_capacity=2,
+            )
+            for packet in packets
+        ]
+
+    def _per_cell_nominations(
+        self, packets: list[StandalonePacket]
+    ) -> list[Nomination]:
+        """PIM/WFA: each read-port arbiter offers, per connected output,
+        the oldest packet of its port that can use that output."""
+        nominations: dict[tuple[int, int], Nomination] = {}
+        for packet in packets:
+            port = packet.port
+            for read_port in range(2):
+                row = row_of(port, read_port)
+                outputs = tuple(
+                    out
+                    for out in packet.outputs
+                    if self.config.matrix.connected(row, out)
+                )
+                if not outputs:
+                    continue
+                key = (row, packet.uid)
+                current = nominations.get(key)
+                if current is None:
+                    nominations[key] = Nomination(
+                        row=row,
+                        packet=packet.uid,
+                        outputs=outputs,
+                        source=self._source_of(port),
+                        age=-packet.age,
+                        group=int(port),
+                        group_capacity=2,
+                    )
+        return list(nominations.values())
+
+    def _single_output_nominations(
+        self,
+        packets: list[StandalonePacket],
+        free_outputs: frozenset[int],
+    ) -> list[Nomination]:
+        """SPAA/OPF: one packet, one output, per *input port*.
+
+        The read-port pair synchronizes on a single nomination (see
+        :data:`repro.core.timing.SPAA_TIMING`), so eight arbiters
+        compete per cycle.  SPAA's readiness test skips busy outputs
+        and picks uniformly between two adaptive candidates with no
+        cross-arbiter coordination; OPF (the Figure 2 straw man) aims
+        the oldest packet at its first-choice output unconditionally.
+        """
+        check_free = self.config.algorithm != "OPF"
+        nominated_ports: set[InputPort] = set()
+        nominations: list[Nomination] = []
+        for packet in packets:  # oldest first
+            port = packet.port
+            if port in nominated_ports:
+                continue
+            for read_port in range(2):
+                row = row_of(port, read_port)
+                outputs = [
+                    out
+                    for out in packet.outputs
+                    if self.config.matrix.connected(row, out)
+                    and (not check_free or out in free_outputs)
+                ]
+                if not outputs:
+                    continue
+                choice = outputs[self._rng.randrange(len(outputs))]
+                nominations.append(
+                    Nomination(
+                        row=row,
+                        packet=packet.uid,
+                        outputs=(choice,),
+                        source=self._source_of(port),
+                        age=-packet.age,
+                        group=int(port),
+                        group_capacity=2,
+                    )
+                )
+                nominated_ports.add(port)
+                break
+        return nominations
+
+    @staticmethod
+    def _source_of(port: InputPort) -> SourceKind:
+        return SourceKind.NETWORK if port.is_network else SourceKind.LOCAL
+
+
+def measure_matches(config: StandaloneConfig) -> float:
+    """Mean matches per arbitration for one configuration."""
+    return StandaloneRouterModel(config).run().mean
+
+
+def find_mcm_saturation_load(
+    base: StandaloneConfig | None = None,
+    tolerance: float = 0.01,
+    max_load: int = 512,
+) -> int:
+    """The load where MCM's match count stops improving.
+
+    Doubles the load until the incremental gain falls below
+    *tolerance* (relative), then returns the smaller load -- the knee
+    of the MCM curve that Figure 8 normalizes its x-axis by.
+    """
+    base = base or StandaloneConfig()
+    config = replace(base, algorithm="MCM")
+    load = 4
+    current = measure_matches(replace(config, load=load))
+    while load < max_load:
+        nxt = measure_matches(replace(config, load=load * 2))
+        if nxt - current < tolerance * max(current, 1e-9):
+            return load
+        load *= 2
+        current = nxt
+    return max_load

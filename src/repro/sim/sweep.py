@@ -1,0 +1,70 @@
+"""Load sweeps: produce Burton-Normal-Form curves from the timing model."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import BNFCurve
+from repro.sim.timing_model import NetworkSimulator
+
+
+def sweep_algorithm(
+    config: SimulationConfig,
+    rates: Sequence[float],
+    progress: Callable[[str], None] | None = None,
+) -> BNFCurve:
+    """Run one algorithm over a set of offered loads."""
+    curve = BNFCurve(label=config.algorithm)
+    for rate in rates:
+        point = NetworkSimulator(config.with_rate(rate)).bnf_point()
+        curve.add(point)
+        if progress is not None:
+            progress(
+                f"{config.algorithm} rate={rate:.4g} -> "
+                f"thr={point.throughput:.3f} flits/router/ns, "
+                f"lat={point.latency_ns:.1f} ns"
+            )
+    return curve
+
+
+def sweep_algorithms(
+    config: SimulationConfig,
+    algorithms: Sequence[str],
+    rates: Sequence[float],
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, BNFCurve]:
+    """Run several algorithms over the same loads (one Figure 10 panel)."""
+    return {
+        algorithm: sweep_algorithm(
+            config.with_algorithm(algorithm), rates, progress
+        )
+        for algorithm in algorithms
+    }
+
+
+def geometric_rates(low: float, high: float, count: int) -> list[float]:
+    """Geometrically spaced offered loads (dense near saturation)."""
+    if count < 2:
+        raise ValueError("need at least two rates")
+    if not 0 < low < high:
+        raise ValueError("need 0 < low < high")
+    ratio = (high / low) ** (1.0 / (count - 1))
+    return [low * ratio**i for i in range(count)]
+
+
+def throughput_gain_at_latency(
+    winner: BNFCurve, loser: BNFCurve, latency_ns: float
+) -> float:
+    """Relative throughput advantage at a fixed average latency.
+
+    This is how the paper states results ("SPAA-base provides about
+    11% higher throughput ... when the average packet latency is about
+    83 nanoseconds"): both curves are cut at the same latency and the
+    throughputs compared.
+    """
+    winner_throughput = winner.throughput_at_latency(latency_ns)
+    loser_throughput = loser.throughput_at_latency(latency_ns)
+    if loser_throughput <= 0:
+        return float("inf")
+    return winner_throughput / loser_throughput - 1.0

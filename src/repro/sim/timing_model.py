@@ -1,0 +1,359 @@
+"""The full-network timing model (Figures 10 and 11).
+
+An event-driven simulation of a torus of 21364 routers running the
+coherence-protocol workload.  The model's fidelity centres on what the
+paper's comparison depends on:
+
+* every arbitration actually runs the algorithm under study over the
+  router's live nominations (matching quality is emergent, not
+  approximated);
+* each algorithm's latency, initiation interval, nomination fan-out
+  and pipelined tail follow the hardware numbers in
+  :mod:`repro.core.timing` -- the launch/resolve split exposes SPAA's
+  one-per-cycle pipelining and its speculation collisions;
+* virtual cut-through with per-class buffering, adaptive routing in
+  the minimal rectangle and dateline escape channels produce real
+  back-pressure, so tree saturation (and the Rotary Rule's rescue)
+  emerges rather than being scripted.
+
+Simplifications (see DESIGN.md section 5): packets occupy exactly one
+router's buffer at a time (header cut-through is approximated by
+letting a packet arbitrate the moment its header arrives), credits are
+visible immediately, and local-port enqueue bandwidth is not modelled.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import partial
+
+from repro.coherence.protocol import CoherenceEngine
+from repro.core.antistarvation import AntiStarvationTracker
+from repro.core.registry import ArbiterContext, algorithm_timing, make_arbiter
+from repro.network.channels import entry_channel
+from repro.network.packets import Packet
+from repro.network.topology import Torus2D
+from repro.router.ports import (
+    InputPort,
+    LOCAL_INPUTS,
+    TORUS_OUTPUTS,
+    network_rows,
+)
+from repro.router.router import Dispatch, Launch, Router
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import EventQueue
+from repro.sim.metrics import BNFPoint, NetworkStats
+from repro.sim.traffic import PoissonInjector, make_pattern
+
+
+class NetworkSimulator:
+    """One timing-model run: build with a config, call :meth:`run`."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        network = config.network
+        self.topology = Torus2D(network.width, network.height)
+        self.clocks = network.effective_clocks
+        self.link = network.effective_link
+        base_timing = (
+            config.arbitration_override
+            if config.arbitration_override is not None
+            else algorithm_timing(config.algorithm)
+        )
+        self.timing = base_timing.scaled(network.pipeline_scale)
+        self.queue = EventQueue()
+        self.stats = NetworkStats(num_routers=self.topology.num_nodes)
+
+        seed = config.seed
+        self._traffic_rng = random.Random(seed)
+        self._engine_rng = random.Random(seed + 1)
+        self._pattern = make_pattern(
+            config.traffic.pattern, self.topology, self._traffic_rng
+        )
+        self._injector = PoissonInjector(
+            config.traffic.injection_rate, self._traffic_rng
+        )
+
+        self.routers = [
+            self._build_router(node, random.Random(seed + 1000 + node))
+            for node in range(self.topology.num_nodes)
+        ]
+        for router in self.routers:
+            router.output_tail_cycles = float(self.timing.tail_cycles)
+        self._wire_topology()
+
+        self.engine = CoherenceEngine(
+            host=self,
+            num_nodes=self.topology.num_nodes,
+            mshr_limit=config.traffic.mshr_limit,
+            two_hop_fraction=config.traffic.two_hop_fraction,
+            memory_latency_ns=config.traffic.memory_latency_ns,
+            l2_latency_cycles=config.traffic.l2_latency_cycles,
+            rng=self._engine_rng,
+            io_fraction=config.traffic.io_fraction,
+        )
+        self.engine.on_transaction_complete = self._transaction_complete
+
+        #: per (node, local input port) queues of packets awaiting
+        #: buffer space -- the injection back-pressure path.
+        self._pending: dict[tuple[int, InputPort], list[Packet]] = {
+            (node, port): []
+            for node in range(self.topology.num_nodes)
+            for port in LOCAL_INPUTS
+        }
+        self._hop_latency = self.link.hop_latency_cycles(self.clocks)
+        self._window_start = float(config.warmup_cycles)
+        self._window_end = float(config.total_cycles)
+        #: instrumentation hooks (see repro.sim.observers); empty by
+        #: default so the hot path pays a single truthiness check.
+        self._observers: list = []
+
+    def _build_router(self, node: int, rng: random.Random) -> Router:
+        context = ArbiterContext(
+            num_rows=16,
+            num_outputs=7,
+            network_rows=network_rows(),
+            rng=rng,
+        )
+        return Router(
+            node=node,
+            topology=self.topology,
+            arbiter=make_arbiter(self.config.algorithm, context),
+            buffer_plan=self.config.network.buffer_plan,
+            matrix=self.config.network.matrix,
+            antistarvation=AntiStarvationTracker(self.config.antistarvation),
+            rng=rng,
+            torus_cycles_per_flit=self.clocks.core_cycles_per_flit_on_link,
+            local_cycles_per_flit=1.0,
+        )
+
+    def _wire_topology(self) -> None:
+        for router in self.routers:
+            for output in TORUS_OUTPUTS:
+                direction = output.direction
+                neighbor = self.routers[
+                    self.topology.neighbor(router.node, direction)
+                ]
+                in_port = InputPort(int(direction.opposite))
+                router.downstream[output] = (neighbor, in_port)
+
+    # -- ProtocolHost interface -------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    def cycles_per_ns(self) -> float:
+        return self.clocks.core_ghz
+
+    def schedule_after(self, delay_cycles: float, callback) -> None:
+        self.queue.schedule_after(delay_cycles, callback)
+
+    def enqueue_local(self, node: int, port: InputPort, packet: Packet) -> None:
+        if port.is_network:
+            raise ValueError("local injection must use a local input port")
+        if self._in_window(self.queue.now):
+            self.stats.packets_injected += 1
+        self._pending[(node, port)].append(packet)
+        self._drain_pending(node, port)
+
+    # -- simulation loop ----------------------------------------------------
+
+    def run(self) -> NetworkStats:
+        """Simulate warmup + measurement and return the window's stats."""
+        for node in range(self.topology.num_nodes):
+            self.queue.schedule_at(
+                self._injector.next_interval(), partial(self._injection_attempt, node)
+            )
+        self.queue.run_until(self._window_end)
+        self.stats.window_ns = (
+            self.config.measure_cycles * self.clocks.cycle_ns
+        )
+        return self.stats
+
+    def drain(self, max_extra_cycles: float = 1_000_000.0) -> None:
+        """After :meth:`run`, let in-flight traffic finish.
+
+        Injection stops at the measurement window's end, so the event
+        queue empties once every outstanding transaction completes.
+        Used by conservation tests and by examples that want a quiesced
+        network to inspect.
+        """
+        self.queue.run_until_idle(self._window_end + max_extra_cycles)
+
+    def bnf_point(self) -> BNFPoint:
+        """Run and summarize as one Burton-Normal-Form point."""
+        stats = self.run()
+        return BNFPoint(
+            offered_rate=self.config.traffic.injection_rate,
+            throughput=stats.delivered_flits_per_router_ns(),
+            latency_ns=stats.packet_latency_ns.mean,
+            transaction_latency_ns=stats.transaction_latency_ns.mean,
+            packets_delivered=stats.packets_delivered,
+        )
+
+    def _in_window(self, time: float) -> bool:
+        return self._window_start <= time < self._window_end
+
+    # -- injection ------------------------------------------------------------
+
+    def _injection_attempt(self, node: int) -> None:
+        if self.queue.now < self._window_end:
+            self.queue.schedule_after(
+                self._injector.next_interval(),
+                partial(self._injection_attempt, node),
+            )
+        home = self._pattern.destination(node)
+        transaction = self.engine.try_start_transaction(node, home)
+        if self._in_window(self.queue.now):
+            if transaction is None:
+                self.stats.transactions_throttled += 1
+            else:
+                self.stats.transactions_started += 1
+
+    def _drain_pending(self, node: int, port: InputPort) -> None:
+        queue = self._pending[(node, port)]
+        if not queue:
+            return
+        router = self.routers[node]
+        buffer = router.buffers[port]
+        drained = 0
+        for packet in queue:
+            if not buffer.inject(packet, entry_channel(packet.pclass)):
+                break
+            drained += 1
+        if drained:
+            del queue[:drained]
+            self._request_launch(router)
+
+    # -- arbitration launches ---------------------------------------------------
+
+    def _request_launch(self, router: Router, delay: float = 0.0) -> None:
+        time = max(
+            self.queue.now + delay,
+            router.last_launch_time + self.timing.initiation_interval,
+        )
+        scheduled = router.launch_scheduled_at
+        if scheduled is not None and self.queue.now <= scheduled <= time:
+            return  # an attempt at least as early is already queued
+        router.launch_scheduled_at = time
+        self.queue.schedule_at(time, partial(self._try_launch, router))
+
+    def _try_launch(self, router: Router) -> None:
+        now = self.queue.now
+        if router.launch_scheduled_at is not None and router.launch_scheduled_at <= now:
+            router.launch_scheduled_at = None
+        if now < router.last_launch_time + self.timing.initiation_interval:
+            return  # a stale attempt inside the initiation window
+        launch = router.nominate(
+            now,
+            now,  # readiness: the output must be free *now* (no hiding)
+            self.timing.fanout,
+            self.timing.nominations_per_port,
+        )
+        if launch is None:
+            return
+        router.last_launch_time = now
+        self.queue.schedule_at(
+            now + self.timing.decision_latency,
+            partial(self._resolve, router, launch),
+        )
+        # Keep the pipeline hot: try again one initiation interval on.
+        self._request_launch(router, delay=self.timing.initiation_interval)
+
+    def _resolve(self, router: Router, launch: Launch) -> None:
+        now = self.queue.now
+        dispatches = router.resolve(now, launch)
+        for dispatch in dispatches:
+            self._apply_dispatch(router, dispatch)
+        # Losers (and newly uncovered heads) can renominate immediately.
+        self._request_launch(router)
+
+    def attach_observer(self, observer) -> None:
+        """Register an instrumentation observer before (or during) a run."""
+        observer.on_attach(self)
+        self._observers.append(observer)
+
+    def _apply_dispatch(self, router: Router, dispatch: Dispatch) -> None:
+        now = self.queue.now
+        plan = dispatch.plan
+        if self._observers:
+            for observer in self._observers:
+                observer.on_dispatch(self, router, dispatch)
+        # Wake the router when the output frees: the arbitration
+        # latency becomes a real bubble between packets on a busy
+        # output -- the effect behind the paper's "each additional
+        # pipeline cycle costs ~5% throughput under heavy load".
+        free_again = self.timing.tail_cycles + dispatch.service_cycles
+        self._request_launch(router, delay=free_again)
+
+        # The departure freed a buffer slot: wake whoever feeds it.
+        if plan.in_port.is_network:
+            upstream = self.routers[router.upstream_node(plan.in_port)]
+            self._request_launch(upstream)
+        else:
+            self._drain_pending(router.node, plan.in_port)
+
+        packet = dispatch.packet
+        if plan.target_channel is None:
+            delivery_delay = (
+                self.timing.tail_cycles
+                + self.link.local_port_cycles
+                + packet.flits * router.local_cycles_per_flit
+            )
+            self.queue.schedule_after(
+                delivery_delay, partial(self._delivered, packet)
+            )
+        else:
+            neighbor, in_port = router.downstream[plan.output]
+            arrival_delay = self.timing.tail_cycles + self._hop_latency
+            self.queue.schedule_after(
+                arrival_delay,
+                partial(self._arrive, neighbor, in_port, plan.target_channel, packet),
+            )
+
+    def _arrive(self, router: Router, port: InputPort, channel, packet: Packet) -> None:
+        router.buffers[port].commit(packet, channel)
+        packet.waiting_since = self.queue.now
+        self._request_launch(router)
+
+    # -- delivery & statistics ------------------------------------------------------
+
+    def _delivered(self, packet: Packet) -> None:
+        now = self.queue.now
+        if self._observers:
+            for observer in self._observers:
+                observer.on_delivery(self, packet)
+        if self._in_window(now):
+            self.stats.packets_delivered += 1
+            self.stats.flits_delivered += packet.flits
+            latency_ns = (now - packet.injected_at) * self.clocks.cycle_ns
+            self.stats.packet_latency_ns.add(latency_ns)
+            self.stats.latency_sample.add(latency_ns)
+        self.engine.on_packet_delivered(packet)
+
+    def _transaction_complete(self, transaction) -> None:
+        if self._in_window(self.queue.now):
+            self.stats.transactions_completed += 1
+            latency_ns = (
+                self.queue.now - transaction.started_at
+            ) * self.clocks.cycle_ns
+            self.stats.transaction_latency_ns.add(latency_ns)
+
+    # -- debugging helpers --------------------------------------------------------------
+
+    def total_buffered_packets(self) -> int:
+        return sum(router.total_buffered() for router in self.routers)
+
+    def total_pending_injections(self) -> int:
+        return sum(len(queue) for queue in self._pending.values())
+
+
+def simulate(config: SimulationConfig) -> NetworkStats:
+    """Convenience one-shot: build a simulator and run it."""
+    return NetworkSimulator(config).run()
+
+
+def simulate_bnf_point(config: SimulationConfig) -> BNFPoint:
+    """Convenience one-shot returning a BNF summary point."""
+    return NetworkSimulator(config).bnf_point()

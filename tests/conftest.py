@@ -1,0 +1,85 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.types import Nomination, SourceKind
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xA21364)
+
+
+def nomination_strategy(
+    num_rows: int = 16,
+    num_outputs: int = 7,
+    max_outputs_per_nomination: int = 2,
+) -> st.SearchStrategy[Nomination]:
+    """A single random nomination."""
+
+    def build(row: int, packet: int, outputs: list[int], source: bool, age: int):
+        return Nomination(
+            row=row,
+            packet=packet,
+            outputs=tuple(outputs),
+            source=SourceKind.NETWORK if source else SourceKind.LOCAL,
+            age=age,
+        )
+
+    return st.builds(
+        build,
+        row=st.integers(min_value=0, max_value=num_rows - 1),
+        packet=st.integers(min_value=0, max_value=10_000),
+        outputs=st.lists(
+            st.integers(min_value=0, max_value=num_outputs - 1),
+            min_size=1,
+            max_size=max_outputs_per_nomination,
+            unique=True,
+        ),
+        source=st.booleans(),
+        age=st.integers(min_value=0, max_value=1000),
+    )
+
+
+def nomination_set_strategy(
+    num_rows: int = 16,
+    num_outputs: int = 7,
+    single_output: bool = False,
+    max_size: int = 16,
+) -> st.SearchStrategy[list[Nomination]]:
+    """A well-formed nomination batch: unique rows, unique packets.
+
+    Matches the discipline the router's input arbiters guarantee: each
+    read-port arbiter fields one packet, and the pair never picks the
+    same packet twice.
+    """
+    base = nomination_strategy(
+        num_rows,
+        num_outputs,
+        max_outputs_per_nomination=1 if single_output else 2,
+    )
+
+    def dedupe(noms: list[Nomination]) -> list[Nomination]:
+        seen_rows: set[int] = set()
+        seen_packets: set[int] = set()
+        result = []
+        for nom in noms:
+            if nom.row in seen_rows or nom.packet in seen_packets:
+                continue
+            seen_rows.add(nom.row)
+            seen_packets.add(nom.packet)
+            result.append(nom)
+        return result
+
+    return st.lists(base, min_size=0, max_size=max_size).map(dedupe)
+
+
+def free_outputs_strategy(num_outputs: int = 7) -> st.SearchStrategy[frozenset[int]]:
+    return st.frozensets(
+        st.integers(min_value=0, max_value=num_outputs - 1), max_size=num_outputs
+    )

@@ -1,0 +1,88 @@
+"""Unit tests for the two-color anti-starvation overlay."""
+
+import pytest
+
+from repro.core.antistarvation import AntiStarvationConfig, AntiStarvationTracker
+from repro.core.types import Nomination
+
+
+def nom(row, age):
+    return Nomination(row=row, packet=100 + row, outputs=(0,), age=age)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = AntiStarvationConfig()
+        assert config.enabled
+
+    @pytest.mark.parametrize("kwargs", [
+        {"age_threshold": 0},
+        {"drain_threshold": 0},
+    ])
+    def test_rejects_nonpositive_thresholds(self, kwargs):
+        with pytest.raises(ValueError):
+            AntiStarvationConfig(**kwargs)
+
+
+class TestTracker:
+    def config(self, **kwargs):
+        defaults = dict(age_threshold=10, drain_threshold=2, enabled=True)
+        defaults.update(kwargs)
+        return AntiStarvationConfig(**defaults)
+
+    def test_young_packets_never_flagged(self):
+        tracker = AntiStarvationTracker(self.config())
+        noms = [nom(0, 5), nom(1, 5)]
+        assert tracker.classify(noms) == noms
+        assert not tracker.draining
+
+    def test_few_old_packets_do_not_trigger_draining(self):
+        tracker = AntiStarvationTracker(self.config(drain_threshold=3))
+        noms = [nom(0, 50), nom(1, 5)]
+        result = tracker.classify(noms)
+        assert not tracker.draining
+        assert all(not n.starving for n in result)
+
+    def test_threshold_engages_draining_and_flags_old(self):
+        tracker = AntiStarvationTracker(self.config())
+        noms = [nom(0, 50), nom(1, 50), nom(2, 5)]
+        result = tracker.classify(noms)
+        assert tracker.draining
+        flags = {n.row: n.starving for n in result}
+        assert flags == {0: True, 1: True, 2: False}
+
+    def test_draining_latches_until_old_packets_gone(self):
+        tracker = AntiStarvationTracker(self.config())
+        tracker.classify([nom(0, 50), nom(1, 50)])
+        assert tracker.draining
+        # One old packet left: still draining (latched).
+        result = tracker.classify([nom(0, 50), nom(2, 1)])
+        assert tracker.draining
+        assert result[0].starving
+        # All old packets drained: mode disengages.
+        result = tracker.classify([nom(2, 1)])
+        assert not tracker.draining
+        assert not result[0].starving
+
+    def test_disabled_tracker_is_inert(self):
+        tracker = AntiStarvationTracker(self.config(enabled=False))
+        noms = [nom(0, 500), nom(1, 500), nom(2, 500)]
+        assert tracker.classify(noms) == noms
+        assert not tracker.draining
+
+    def test_reset_clears_latch(self):
+        tracker = AntiStarvationTracker(self.config())
+        tracker.classify([nom(0, 50), nom(1, 50)])
+        assert tracker.draining
+        tracker.reset()
+        assert not tracker.draining
+
+    def test_classify_preserves_nomination_payload(self):
+        tracker = AntiStarvationTracker(self.config())
+        original = Nomination(
+            row=3, packet=9, outputs=(2, 4), age=99, group=1, group_capacity=2
+        )
+        flagged = tracker.classify([original, nom(1, 50)])[0]
+        assert flagged.starving
+        assert (flagged.row, flagged.packet, flagged.outputs) == (3, 9, (2, 4))
+        assert flagged.group == 1 and flagged.group_capacity == 2

@@ -1,0 +1,156 @@
+"""Property-based invariants every arbitration algorithm must satisfy.
+
+These run the full registry through hypothesis-generated nomination
+batches and check the matching invariants of
+:func:`repro.core.types.validate_matching`, plus per-algorithm
+structural properties (MCM dominance, WFA maximality, SPAA/OPF
+single-output discipline).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.mcm import MCMArbiter
+from repro.core.registry import ArbiterContext, make_arbiter
+from repro.core.types import validate_matching
+from repro.router.ports import network_rows
+
+from tests.conftest import free_outputs_strategy, nomination_set_strategy
+
+MULTI_OUTPUT_ALGORITHMS = ("MCM", "PIM", "PIM1", "PIM1-rotary", "WFA-base", "WFA-rotary")
+SINGLE_OUTPUT_ALGORITHMS = ("SPAA-base", "SPAA-rotary", "OPF")
+
+
+def build(name: str):
+    return make_arbiter(
+        name,
+        ArbiterContext(
+            num_rows=16,
+            num_outputs=7,
+            network_rows=network_rows(),
+            rng=random.Random(7),
+        ),
+    )
+
+
+@pytest.mark.parametrize("name", MULTI_OUTPUT_ALGORITHMS)
+@settings(max_examples=60, deadline=None)
+@given(
+    noms=nomination_set_strategy(single_output=False),
+    free=free_outputs_strategy(),
+)
+def test_multi_output_algorithms_produce_legal_matchings(name, noms, free):
+    arbiter = build(name)
+    grants = arbiter.arbitrate(noms, free)
+    validate_matching(noms, grants, free)
+
+
+@pytest.mark.parametrize("name", SINGLE_OUTPUT_ALGORITHMS)
+@settings(max_examples=60, deadline=None)
+@given(
+    noms=nomination_set_strategy(single_output=True),
+    free=free_outputs_strategy(),
+)
+def test_single_output_algorithms_produce_legal_matchings(name, noms, free):
+    arbiter = build(name)
+    grants = arbiter.arbitrate(noms, free)
+    validate_matching(noms, grants, free)
+
+
+@pytest.mark.parametrize("name", MULTI_OUTPUT_ALGORITHMS)
+@settings(max_examples=40, deadline=None)
+@given(
+    noms=nomination_set_strategy(single_output=False),
+    free=free_outputs_strategy(),
+)
+def test_mcm_dominates_every_algorithm(name, noms, free):
+    """MCM is the cardinality upper bound (it is exhaustive)."""
+    mcm = MCMArbiter().arbitrate(noms, free)
+    other = build(name).arbitrate(noms, free)
+    assert len(other) <= len(mcm)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    noms=nomination_set_strategy(single_output=False),
+    free=free_outputs_strategy(),
+)
+def test_wavefront_matching_is_maximal(noms, free):
+    """No nomination could be added to a WFA matching without conflict.
+
+    The wave front sweeps every cell, so the result is a maximal (not
+    maximum) matching: any ungranted nomination must clash on its row,
+    its packet, or every free candidate output.
+    """
+    arbiter = build("WFA-base")
+    grants = arbiter.arbitrate(noms, free)
+    used_rows = {g.row for g in grants}
+    used_packets = {g.packet for g in grants}
+    used_outputs = {g.output for g in grants}
+    for nom in noms:
+        if nom.row in used_rows or nom.packet in used_packets:
+            continue
+        for out in nom.outputs:
+            assert out not in free or out in used_outputs, (
+                f"wavefront left {nom} unmatched with output {out} free"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    noms=nomination_set_strategy(single_output=False),
+    free=free_outputs_strategy(),
+)
+def test_converged_pim_is_maximal(noms, free):
+    """PIM iterated to convergence leaves no grantable request behind."""
+    arbiter = build("PIM")
+    grants = arbiter.arbitrate(noms, free)
+    used_rows = {g.row for g in grants}
+    used_packets = {g.packet for g in grants}
+    used_outputs = {g.output for g in grants}
+    for nom in noms:
+        if nom.row in used_rows or nom.packet in used_packets:
+            continue
+        for out in nom.outputs:
+            assert out not in free or out in used_outputs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    noms=nomination_set_strategy(single_output=False),
+    free=free_outputs_strategy(),
+)
+def test_pim_never_beaten_by_pim1(noms, free):
+    """More iterations can only help (same seed, same requests)."""
+    pim1 = make_arbiter("PIM1", ArbiterContext(16, 7, network_rows(), random.Random(3)))
+    pim = make_arbiter("PIM", ArbiterContext(16, 7, network_rows(), random.Random(3)))
+    assert len(pim.arbitrate(noms, free)) >= len(pim1.arbitrate(noms, free))
+
+
+@pytest.mark.parametrize("name", MULTI_OUTPUT_ALGORITHMS + SINGLE_OUTPUT_ALGORITHMS)
+def test_empty_nominations_yield_no_grants(name):
+    arbiter = build(name)
+    assert arbiter.arbitrate([], frozenset(range(7))) == []
+
+
+@pytest.mark.parametrize("name", MULTI_OUTPUT_ALGORITHMS + SINGLE_OUTPUT_ALGORITHMS)
+@settings(max_examples=25, deadline=None)
+@given(noms=nomination_set_strategy(single_output=True))
+def test_no_free_outputs_yield_no_grants(name, noms):
+    arbiter = build(name)
+    assert arbiter.arbitrate(noms, frozenset()) == []
+
+
+@pytest.mark.parametrize("name", MULTI_OUTPUT_ALGORITHMS + SINGLE_OUTPUT_ALGORITHMS)
+@settings(max_examples=25, deadline=None)
+@given(
+    noms=nomination_set_strategy(single_output=True),
+    free=free_outputs_strategy(),
+)
+def test_deterministic_given_equal_state(name, noms, free):
+    """Two identically seeded arbiters produce identical grants."""
+    first = build(name).arbitrate(noms, free)
+    second = build(name).arbitrate(noms, free)
+    assert first == second

@@ -1,0 +1,35 @@
+"""Tests for the Arbiter base class helpers."""
+
+from repro.core.base import usable_nominations
+from repro.core.types import Nomination
+
+
+def nom(row, packet, outputs):
+    return Nomination(row=row, packet=packet, outputs=tuple(outputs))
+
+
+class TestUsableNominations:
+    def test_filters_busy_outputs(self):
+        noms = [nom(0, 1, [2, 4])]
+        usable = usable_nominations(noms, frozenset({4}))
+        assert usable == [(noms[0], (4,))]
+
+    def test_drops_fully_blocked_nominations(self):
+        noms = [nom(0, 1, [2]), nom(1, 2, [3])]
+        usable = usable_nominations(noms, frozenset({3}))
+        assert len(usable) == 1
+        assert usable[0][0].packet == 2
+
+    def test_preserves_preference_order(self):
+        noms = [nom(0, 1, [5, 2])]
+        usable = usable_nominations(noms, frozenset({2, 5}))
+        assert usable[0][1] == (5, 2)
+
+    def test_empty_inputs(self):
+        assert usable_nominations([], frozenset({1})) == []
+        assert usable_nominations([nom(0, 1, [0])], frozenset()) == []
+
+    def test_preserves_input_order_across_nominations(self):
+        noms = [nom(2, 1, [0]), nom(0, 2, [0]), nom(1, 3, [0])]
+        usable = usable_nominations(noms, frozenset({0}))
+        assert [item[0].row for item in usable] == [2, 0, 1]

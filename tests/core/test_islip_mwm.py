@@ -1,0 +1,143 @@
+"""Tests for the iSLIP and greedy-MWM (LQF/OCF) reference arbiters."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.islip import ISLIPArbiter
+from repro.core.mwm import GreedyMWMArbiter, WeightRule
+from repro.core.registry import ArbiterContext, make_arbiter
+from repro.core.types import Nomination, validate_matching
+from repro.router.ports import network_rows
+
+from tests.conftest import free_outputs_strategy, nomination_set_strategy
+
+
+def nom(row, packet, outputs, age=0, group=None, starving=False):
+    return Nomination(row=row, packet=packet, outputs=tuple(outputs), age=age,
+                      group=group, group_capacity=2 if group is not None else 1,
+                      starving=starving)
+
+
+class TestISLIP:
+    def test_names_and_validation(self):
+        assert ISLIPArbiter(16, 7).name == "iSLIP1"
+        assert ISLIPArbiter(16, 7, iterations=3).name == "iSLIP"
+        with pytest.raises(ValueError):
+            ISLIPArbiter(0, 7)
+        with pytest.raises(ValueError):
+            ISLIPArbiter(16, 7, iterations=0)
+
+    def test_uncontended_requests_granted(self):
+        arbiter = ISLIPArbiter(4, 4)
+        grants = arbiter.arbitrate(
+            [nom(0, 1, [0]), nom(1, 2, [1])], frozenset(range(4))
+        )
+        assert len(grants) == 2
+
+    def test_pointers_advance_past_accepted_grants(self):
+        arbiter = ISLIPArbiter(4, 4)
+        # Rows 0 and 1 contend for output 0 repeatedly: the grant
+        # pointer must rotate so both get served alternately.
+        winners = []
+        for trial in range(4):
+            grants = arbiter.arbitrate(
+                [nom(0, 100 + trial, [0]), nom(1, 200 + trial, [0])],
+                frozenset(range(4)),
+            )
+            winners.append(grants[0].row)
+        assert set(winners) == {0, 1}
+
+    def test_deterministic_no_rng(self):
+        first = ISLIPArbiter(16, 7)
+        second = ISLIPArbiter(16, 7)
+        noms = [nom(r, 10 + r, [r % 7, (r + 2) % 7]) for r in range(16)]
+        assert first.arbitrate(noms, frozenset(range(7))) == \
+            second.arbitrate(noms, frozenset(range(7)))
+
+    def test_more_iterations_never_hurt(self):
+        noms = [nom(r, 10 + r, [r % 7, (r + 2) % 7]) for r in range(16)]
+        one = ISLIPArbiter(16, 7, iterations=1)
+        four = ISLIPArbiter(16, 7, iterations=4)
+        assert len(four.arbitrate(noms, frozenset(range(7)))) >= \
+            len(one.arbitrate(noms, frozenset(range(7))))
+
+    def test_reset(self):
+        arbiter = ISLIPArbiter(4, 4)
+        arbiter.arbitrate([nom(0, 1, [0]), nom(1, 2, [0])], frozenset(range(4)))
+        arbiter.reset()
+        grants = arbiter.arbitrate(
+            [nom(0, 3, [0]), nom(1, 4, [0])], frozenset(range(4))
+        )
+        assert grants[0].row == 0  # pointer back at zero
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        noms=nomination_set_strategy(single_output=False),
+        free=free_outputs_strategy(),
+    )
+    def test_produces_legal_matchings(self, noms, free):
+        arbiter = ISLIPArbiter(16, 7, iterations=2)
+        validate_matching(noms, arbiter.arbitrate(noms, free), free)
+
+    def test_registry_entry(self):
+        context = ArbiterContext(16, 7, network_rows(), random.Random(0))
+        assert make_arbiter("iSLIP1", context).name == "iSLIP1"
+
+
+class TestGreedyMWM:
+    def test_ocf_prefers_oldest(self):
+        arbiter = GreedyMWMArbiter(WeightRule.OCF)
+        noms = [nom(0, 1, [3], age=2), nom(1, 2, [3], age=50)]
+        grants = arbiter.arbitrate(noms, frozenset(range(7)))
+        assert grants[0].packet == 2
+
+    def test_lqf_prefers_the_longer_queue(self):
+        arbiter = GreedyMWMArbiter(WeightRule.LQF)
+        # Port 0 has three waiting nominations, port 1 has one; both
+        # head packets want output 3.
+        noms = [
+            nom(0, 1, [3], group=0),
+            nom(2, 2, [4], group=0),
+            nom(4, 3, [5], group=0),
+            nom(1, 9, [3], group=1),
+        ]
+        grants = arbiter.arbitrate(noms, frozenset(range(7)))
+        by_output = {g.output: g for g in grants}
+        assert by_output[3].packet == 1  # the long queue wins output 3
+
+    def test_group_capacity_respected(self):
+        arbiter = GreedyMWMArbiter(WeightRule.OCF)
+        noms = [
+            nom(0, 1, [0], age=9, group=5),
+            nom(1, 2, [1], age=8, group=5),
+            nom(2, 3, [2], age=7, group=5),
+        ]
+        grants = arbiter.arbitrate(noms, frozenset(range(7)))
+        assert len(grants) == 2  # two read ports per input port
+
+    def test_starving_packets_preempt_weight(self):
+        arbiter = GreedyMWMArbiter(WeightRule.OCF)
+        noms = [
+            nom(0, 1, [3], age=100),
+            nom(1, 2, [3], age=1, starving=True),
+        ]
+        grants = arbiter.arbitrate(noms, frozenset(range(7)))
+        assert grants[0].packet == 2
+
+    @pytest.mark.parametrize("rule", [WeightRule.LQF, WeightRule.OCF])
+    @settings(max_examples=40, deadline=None)
+    @given(
+        noms=nomination_set_strategy(single_output=False),
+        free=free_outputs_strategy(),
+    )
+    def test_produces_legal_matchings(self, rule, noms, free):
+        arbiter = GreedyMWMArbiter(rule)
+        validate_matching(noms, arbiter.arbitrate(noms, free), free)
+
+    def test_standalone_only_in_registry(self):
+        from repro.core.registry import algorithm_timing
+        for name in ("LQF", "OCF"):
+            with pytest.raises(ValueError, match="standalone"):
+                algorithm_timing(name)

@@ -1,0 +1,105 @@
+"""Unit and property tests for the Dinic max-flow solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maxflow import MaxFlow
+
+
+class TestMaxFlowBasics:
+    def test_single_edge(self):
+        graph = MaxFlow(2)
+        graph.add_edge(0, 1, 5)
+        assert graph.max_flow(0, 1) == 5
+
+    def test_series_edges_bottleneck(self):
+        graph = MaxFlow(3)
+        graph.add_edge(0, 1, 5)
+        graph.add_edge(1, 2, 3)
+        assert graph.max_flow(0, 2) == 3
+
+    def test_parallel_paths_add(self):
+        graph = MaxFlow(4)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 3, 2)
+        graph.add_edge(0, 2, 3)
+        graph.add_edge(2, 3, 3)
+        assert graph.max_flow(0, 3) == 5
+
+    def test_disconnected_is_zero(self):
+        graph = MaxFlow(3)
+        graph.add_edge(0, 1, 9)
+        assert graph.max_flow(0, 2) == 0
+
+    def test_classic_augmenting_path_case(self):
+        # The textbook diamond where a greedy path must be undone via
+        # the residual edge.
+        graph = MaxFlow(4)
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(0, 2, 1)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(1, 3, 1)
+        graph.add_edge(2, 3, 1)
+        assert graph.max_flow(0, 3) == 2
+
+    def test_flow_on_reports_per_edge_flow(self):
+        graph = MaxFlow(3)
+        first = graph.add_edge(0, 1, 4)
+        second = graph.add_edge(1, 2, 2)
+        assert graph.max_flow(0, 2) == 2
+        assert graph.flow_on(first) == 2
+        assert graph.flow_on(second) == 2
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            MaxFlow(0)
+        graph = MaxFlow(2)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 5, 1)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, -1)
+        with pytest.raises(ValueError):
+            graph.max_flow(1, 1)
+
+
+class TestBipartiteMatching:
+    def _matching_size(self, edges, num_left, num_right):
+        # source=0, left nodes 1.., right nodes after, sink last
+        graph = MaxFlow(2 + num_left + num_right)
+        sink = 1 + num_left + num_right
+        for left in range(num_left):
+            graph.add_edge(0, 1 + left, 1)
+        for right in range(num_right):
+            graph.add_edge(1 + num_left + right, sink, 1)
+        for left, right in edges:
+            graph.add_edge(1 + left, 1 + num_left + right, 1)
+        return graph.max_flow(0, sink)
+
+    def test_perfect_matching(self):
+        edges = [(0, 0), (1, 1), (2, 2)]
+        assert self._matching_size(edges, 3, 3) == 3
+
+    def test_contended_matching(self):
+        # Everyone wants right node 0; only one can have it.
+        edges = [(0, 0), (1, 0), (2, 0)]
+        assert self._matching_size(edges, 3, 3) == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        edges=st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=6),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matching_bounded_by_koenig(self, edges):
+        """Matching size never exceeds either side's degree-positive count."""
+        size = self._matching_size(sorted(edges), 8, 7)
+        lefts = {left for left, _ in edges}
+        rights = {right for _, right in edges}
+        assert 0 <= size <= min(len(lefts), len(rights))
+        if edges:
+            assert size >= 1

@@ -1,0 +1,100 @@
+"""OPF tests, including the paper's Figure 2 worked example.
+
+Figure 2 lists the packets waiting at each of the eight input ports
+(column 2 holds the oldest packet's output destination):
+
+    port 0: 3 2 1      port 4: 3 6 1
+    port 1: 3 2 1      port 5: 3 2 0
+    port 2: 3 2 1      port 6: 3 2 4
+    port 3: 3 2 1      port 7: 3 2 5
+
+OPF picks the oldest packet everywhere -- all eight target output 3 --
+so it collides down to a single dispatch, while a smarter matching
+(the shaded cells) dispatches seven packets.
+"""
+
+from repro.core.mcm import MCMArbiter
+from repro.core.opf import OPFArbiter
+from repro.core.types import Nomination
+
+#: (port, [oldest, middle, youngest] output destinations) from Figure 2.
+FIGURE2 = [
+    (0, [3, 2, 1]),
+    (1, [3, 2, 1]),
+    (2, [3, 2, 1]),
+    (3, [3, 2, 1]),
+    (4, [3, 6, 1]),
+    (5, [3, 2, 0]),
+    (6, [3, 2, 4]),
+    (7, [3, 2, 5]),
+]
+
+
+def figure2_nominations() -> list[Nomination]:
+    """One nomination per waiting packet; unique rows, ages by column."""
+    noms = []
+    uid = 0
+    for port, destinations in FIGURE2:
+        for column, output in enumerate(destinations):
+            noms.append(
+                Nomination(
+                    row=uid,
+                    packet=uid,
+                    outputs=(output,),
+                    age=10 - column,  # column 2 is oldest
+                    group=port,
+                    group_capacity=1,
+                )
+            )
+            uid += 1
+    return noms
+
+
+def oldest_per_port_nominations() -> list[Nomination]:
+    """What OPF's input side produces: the oldest packet per port."""
+    return [
+        Nomination(row=port, packet=port, outputs=(destinations[0],), age=1)
+        for port, destinations in FIGURE2
+    ]
+
+
+class TestFigure2:
+    def test_opf_collapses_to_one_dispatch(self):
+        """All eight oldest packets target output 3: seven collide."""
+        grants = OPFArbiter().arbitrate(
+            oldest_per_port_nominations(), frozenset(range(7))
+        )
+        assert len(grants) == 1
+        assert grants[0].output == 3
+
+    def test_optimal_matching_dispatches_seven(self):
+        """The shaded cells of Figure 2 achieve one packet per output."""
+        grants = MCMArbiter().arbitrate(figure2_nominations(), frozenset(range(7)))
+        assert len(grants) == 7
+        assert {g.output for g in grants} == set(range(7))
+
+
+class TestOPFBehaviour:
+    def test_oldest_nomination_represents_its_row(self):
+        noms = [
+            Nomination(row=0, packet=1, outputs=(2,), age=1),
+            Nomination(row=0, packet=2, outputs=(5,), age=9),
+        ]
+        grants = OPFArbiter().arbitrate(noms, frozenset(range(7)))
+        assert len(grants) == 1
+        assert grants[0].packet == 2
+
+    def test_collision_resolved_by_lowest_row(self):
+        noms = [
+            Nomination(row=4, packet=1, outputs=(3,), age=1),
+            Nomination(row=2, packet=2, outputs=(3,), age=1),
+        ]
+        grants = OPFArbiter().arbitrate(noms, frozenset(range(7)))
+        assert grants == [type(grants[0])(row=2, packet=2, output=3)]
+
+    def test_respects_busy_outputs(self):
+        noms = [Nomination(row=0, packet=1, outputs=(3,), age=1)]
+        assert OPFArbiter().arbitrate(noms, frozenset({0, 1})) == []
+
+    def test_no_nominations(self):
+        assert OPFArbiter().arbitrate([], frozenset(range(7))) == []

@@ -1,0 +1,100 @@
+"""Unit tests for nomination/grant value types and the matching checker."""
+
+import pytest
+
+from repro.core.types import Grant, Nomination, SourceKind, validate_matching
+
+
+def nom(row=0, packet=0, outputs=(0,), **kwargs):
+    return Nomination(row=row, packet=packet, outputs=outputs, **kwargs)
+
+
+class TestNomination:
+    def test_requires_an_output(self):
+        with pytest.raises(ValueError, match="at least one candidate output"):
+            nom(outputs=())
+
+    def test_rejects_duplicate_outputs(self):
+        with pytest.raises(ValueError, match="duplicate outputs"):
+            nom(outputs=(3, 3))
+
+    def test_defaults(self):
+        nomination = nom(row=2, packet=7, outputs=(1, 4))
+        assert nomination.source is SourceKind.NETWORK
+        assert nomination.age == 0
+        assert nomination.group is None
+        assert nomination.group_capacity == 1
+        assert not nomination.starving
+
+    def test_is_hashable_and_frozen(self):
+        nomination = nom()
+        assert hash(nomination) == hash(nom())
+        with pytest.raises(AttributeError):
+            nomination.row = 5
+
+
+class TestValidateMatching:
+    def test_accepts_empty(self):
+        validate_matching([], [])
+
+    def test_accepts_a_legal_matching(self):
+        noms = [nom(row=0, packet=10, outputs=(0, 1)), nom(row=1, packet=11, outputs=(1,))]
+        grants = [Grant(0, 10, 0), Grant(1, 11, 1)]
+        validate_matching(noms, grants, frozenset({0, 1}))
+
+    def test_rejects_unknown_grant(self):
+        with pytest.raises(ValueError, match="does not correspond"):
+            validate_matching([], [Grant(0, 0, 0)])
+
+    def test_rejects_wrong_output(self):
+        noms = [nom(row=0, packet=1, outputs=(2,))]
+        with pytest.raises(ValueError, match="cannot take"):
+            validate_matching(noms, [Grant(0, 1, 3)])
+
+    def test_rejects_busy_output(self):
+        noms = [nom(row=0, packet=1, outputs=(2,))]
+        with pytest.raises(ValueError, match="busy output"):
+            validate_matching(noms, [Grant(0, 1, 2)], frozenset({0, 1}))
+
+    def test_rejects_double_granted_output(self):
+        noms = [
+            nom(row=0, packet=1, outputs=(2,)),
+            nom(row=1, packet=2, outputs=(2,)),
+        ]
+        grants = [Grant(0, 1, 2), Grant(1, 2, 2)]
+        with pytest.raises(ValueError, match="output 2 granted twice"):
+            validate_matching(noms, grants)
+
+    def test_rejects_double_granted_row(self):
+        noms = [
+            nom(row=0, packet=1, outputs=(2,)),
+            nom(row=0, packet=2, outputs=(3,)),
+        ]
+        grants = [Grant(0, 1, 2), Grant(0, 2, 3)]
+        with pytest.raises(ValueError, match="row 0 granted twice"):
+            validate_matching(noms, grants)
+
+    def test_rejects_double_granted_packet(self):
+        noms = [
+            nom(row=0, packet=1, outputs=(2,)),
+            nom(row=1, packet=1, outputs=(3,)),
+        ]
+        grants = [Grant(0, 1, 2), Grant(1, 1, 3)]
+        with pytest.raises(ValueError, match="packet 1 granted twice"):
+            validate_matching(noms, grants)
+
+    def test_enforces_group_capacity(self):
+        noms = [
+            nom(row=0, packet=1, outputs=(0,), group=5, group_capacity=1),
+            nom(row=1, packet=2, outputs=(1,), group=5, group_capacity=1),
+        ]
+        grants = [Grant(0, 1, 0), Grant(1, 2, 1)]
+        with pytest.raises(ValueError, match="group 5 exceeded"):
+            validate_matching(noms, grants)
+
+    def test_group_capacity_two_allows_two_grants(self):
+        noms = [
+            nom(row=0, packet=1, outputs=(0,), group=5, group_capacity=2),
+            nom(row=1, packet=2, outputs=(1,), group=5, group_capacity=2),
+        ]
+        validate_matching(noms, [Grant(0, 1, 0), Grant(1, 2, 1)])

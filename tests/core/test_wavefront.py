@@ -1,0 +1,144 @@
+"""Unit tests for the (wrapped) Wave-Front Arbiter."""
+
+import pytest
+
+from repro.core.types import Nomination, SourceKind
+from repro.core.wavefront import WavefrontArbiter
+
+
+def nom(row, packet, outputs, source=SourceKind.NETWORK, age=0, starving=False):
+    return Nomination(row=row, packet=packet, outputs=tuple(outputs),
+                      source=source, age=age, starving=starving)
+
+
+class TestConstruction:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            WavefrontArbiter(0, 7)
+        with pytest.raises(ValueError):
+            WavefrontArbiter(16, 0)
+
+    def test_rotary_requires_network_rows(self):
+        with pytest.raises(ValueError, match="network rows"):
+            WavefrontArbiter(16, 7, rotary=True)
+        with pytest.raises(ValueError, match="out of range"):
+            WavefrontArbiter(16, 7, rotary=True, network_rows=[99])
+
+    def test_names(self):
+        assert WavefrontArbiter(16, 7).name == "WFA-base"
+        assert WavefrontArbiter(16, 7, rotary=True, network_rows=[0]).name == \
+            "WFA-rotary"
+
+    def test_rejects_out_of_matrix_nominations(self):
+        arbiter = WavefrontArbiter(4, 4)
+        with pytest.raises(ValueError, match="row"):
+            arbiter.arbitrate([nom(9, 1, [0])], frozenset({0}))
+        with pytest.raises(ValueError, match="output"):
+            # Output 9 must be in free_outputs to survive the readiness
+            # filter and reach the matrix bounds check.
+            arbiter.arbitrate([nom(0, 1, [9])], frozenset(range(10)))
+
+
+class TestWavefrontSemantics:
+    def test_figure6_diagonal_grants_do_not_conflict(self):
+        """Requests on one anti-diagonal are all independent: all win."""
+        arbiter = WavefrontArbiter(4, 4)
+        noms = [nom(i, 10 + i, [3 - i]) for i in range(4)]
+        grants = arbiter.arbitrate(noms, frozenset(range(4)))
+        assert len(grants) == 4
+
+    def test_full_matrix_grants_min_dimension(self):
+        """Every cell requested: the wave front fills every column."""
+        arbiter = WavefrontArbiter(4, 4)
+        noms = []
+        packet = 0
+        for row in range(4):
+            for out in range(4):
+                noms.append(nom(row, packet, [out]))
+                packet += 1
+        # One nomination per (row, packet): rows repeat, which WFA
+        # accepts (different packets per cell).
+        grants = arbiter.arbitrate(noms, frozenset(range(4)))
+        assert len(grants) == 4
+        assert {g.output for g in grants} == {0, 1, 2, 3}
+        assert len({g.row for g in grants}) == 4
+
+    def test_no_double_dispatch_of_multi_output_packet(self):
+        """A packet nominated to two outputs is granted at most once --
+        WFA's column/row signal propagation, not an external check."""
+        arbiter = WavefrontArbiter(4, 4)
+        noms = [nom(0, 1, [0, 1])]
+        grants = arbiter.arbitrate(noms, frozenset({0, 1}))
+        assert len(grants) == 1
+
+    def test_oldest_packet_wins_a_contended_cell(self):
+        arbiter = WavefrontArbiter(4, 4)
+        noms = [nom(0, 1, [2], age=3), nom(0, 2, [2], age=8)]
+        grants = arbiter.arbitrate(noms, frozenset(range(4)))
+        assert grants[0].packet == 2
+
+    def test_starving_packet_outranks_age_in_a_cell(self):
+        arbiter = WavefrontArbiter(4, 4)
+        noms = [nom(0, 1, [2], age=9), nom(0, 2, [2], age=1, starving=True)]
+        grants = arbiter.arbitrate(noms, frozenset(range(4)))
+        assert grants[0].packet == 2
+
+    def test_round_robin_start_cell_rotates_priority(self):
+        """Under full contention for one output, the winner rotates."""
+        arbiter = WavefrontArbiter(4, 4)
+        winners = []
+        for cycle in range(16):
+            noms = [nom(r, 100 * cycle + r, [0]) for r in range(4)]
+            grants = arbiter.arbitrate(noms, frozenset({0}))
+            winners.append(grants[0].row)
+        assert set(winners) == {0, 1, 2, 3}, "rotation must reach every row"
+
+    def test_reset_restores_start_pointer(self):
+        arbiter = WavefrontArbiter(4, 4)
+        noms = [nom(r, r, [0]) for r in range(4)]
+        first = arbiter.arbitrate(noms, frozenset({0}))
+        arbiter.reset()
+        again = arbiter.arbitrate([nom(r, 50 + r, [0]) for r in range(4)],
+                                  frozenset({0}))
+        assert first[0].row == again[0].row
+
+
+class TestRotaryStart:
+    def test_network_rows_get_the_priority_wavefront(self):
+        arbiter = WavefrontArbiter(
+            16, 7, rotary=True, network_rows=list(range(8))
+        )
+        # A local row (8) and a network row (3) contend for output 0.
+        for trial in range(8):
+            noms = [
+                nom(8, 1000 + trial, [0], source=SourceKind.LOCAL),
+                nom(3, 2000 + trial, [0], source=SourceKind.NETWORK),
+            ]
+            grants = arbiter.arbitrate(noms, frozenset({0}))
+            assert len(grants) == 1
+        # Note: WFA-rotary's prioritization is via the starting cell,
+        # so locals are not *always* beaten -- but network rows must
+        # win the clear majority of contended cycles.
+
+    def test_rotary_majority_network_wins(self):
+        arbiter = WavefrontArbiter(16, 7, rotary=True, network_rows=list(range(8)))
+        network_wins = 0
+        trials = 56
+        for trial in range(trials):
+            noms = [
+                nom(10, 1000 + trial, [0], source=SourceKind.LOCAL),
+                nom(trial % 8, 5000 + trial, [0], source=SourceKind.NETWORK),
+            ]
+            grants = arbiter.arbitrate(noms, frozenset({0}))
+            if grants and grants[0].row != 10:
+                network_wins += 1
+        assert network_wins > trials * 0.6
+
+    def test_starving_row_preempts_rotation(self):
+        arbiter = WavefrontArbiter(16, 7, rotary=True, network_rows=list(range(8)))
+        noms = [
+            nom(12, 1, [0], source=SourceKind.LOCAL, starving=True),
+            nom(0, 2, [0], source=SourceKind.NETWORK),
+        ]
+        grants = arbiter.arbitrate(noms, frozenset({0}))
+        assert grants[0].row == 12

@@ -1,0 +1,54 @@
+"""Tests for the in-text-claim experiments (plumbing level)."""
+
+import pytest
+
+from repro.experiments.claims import (
+    ArbLatencyCostResult,
+    OscillationResult,
+    PipeliningGainResult,
+    format_claims,
+    run_saturation_oscillation,
+)
+
+
+class TestOscillationStudy:
+    def test_smoke_run_produces_both_sizes(self):
+        result = run_saturation_oscillation(preset="smoke", sizes=(2, 4))
+        assert set(result.by_network) == {"2x2", "4x4"}
+        for cv, period in result.by_network.values():
+            assert cv >= 0.0
+            assert period is None or period >= 1
+
+    def test_period_accessor(self):
+        result = OscillationResult(by_network={"4x4": (0.2, 7)})
+        assert result.period("4x4") == 7
+        with pytest.raises(KeyError):
+            result.period("9x9")
+
+
+class TestFormatting:
+    def test_format_with_oscillation_section(self):
+        text = format_claims(
+            ArbLatencyCostResult((3, 8), (1.0, 0.8)),
+            PipeliningGainResult(0.05, 122.0),
+            OscillationResult(by_network={"4x4": (0.05, None),
+                                          "8x8": (0.31, 9)}),
+        )
+        assert "Claim T3" in text
+        assert "none detected" in text
+        assert "9" in text
+
+    def test_format_without_oscillation(self):
+        text = format_claims(
+            ArbLatencyCostResult((3, 8), (1.0, 0.8)),
+            PipeliningGainResult(0.05, 122.0),
+        )
+        assert "Claim T3" not in text
+
+
+class TestLossPerCycleEdgeCases:
+    def test_zero_baseline(self):
+        assert ArbLatencyCostResult((3, 8), (0.0, 0.0)).loss_per_cycle() == 0.0
+
+    def test_single_latency(self):
+        assert ArbLatencyCostResult((3,), (1.0,)).loss_per_cycle() == 0.0

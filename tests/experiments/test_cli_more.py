@@ -1,0 +1,62 @@
+"""Additional CLI coverage: panels, presets, output handling."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig8"])
+        assert args.preset == "fast"
+        assert args.trials == 1000
+        assert args.output is None
+        assert not args.quiet
+
+    def test_preset_choices(self):
+        parser = build_parser()
+        for preset in ("paper", "fast", "smoke"):
+            assert parser.parse_args(["fig10", "--preset", preset]).preset == \
+                preset
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig10", "--preset", "warp"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_fig9_quiet(self, capsys):
+        assert main(["fig9", "--trials", "25", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "regenerated in" in out
+
+    def test_fig10_single_panel_smoke(self, capsys):
+        # Restrict to the 4x4 panel at the smoke preset: seconds, not
+        # minutes -- but still a full CLI round trip through the
+        # timing model.
+        code = main([
+            "fig10", "--preset", "smoke", "--panel", "4x4", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4x4, Random Traffic" in out
+        assert "Headline gains" in out
+
+    def test_fig11_panel_letter(self, capsys):
+        code = main(["fig11", "--preset", "smoke", "--panel", "b", "--quiet"])
+        assert code == 0
+        assert "Figure 11b" in capsys.readouterr().out
+
+    def test_fig11_bad_panel(self):
+        with pytest.raises(SystemExit, match="a, b and c"):
+            main(["fig11", "--panel", "z", "--preset", "smoke"])
+
+    def test_output_file_written(self, tmp_path, capsys):
+        target = tmp_path / "nested" / "fig9.txt"
+        main(["fig9", "--trials", "25", "--quiet", "--output", str(target)])
+        capsys.readouterr()
+        assert target.exists()
+        assert "Figure 9" in target.read_text()

@@ -1,0 +1,73 @@
+"""Unit tests for the text rendering helpers."""
+
+from repro.experiments.report import ascii_plot, bnf_plot, curves_table, format_table
+from repro.sim.metrics import BNFCurve, BNFPoint
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(("name", "value"), [("a", 1.0), ("long-name", 2.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_prepended(self):
+        text = format_table(("x",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_floats_formatted(self):
+        text = format_table(("v",), [(0.123456,)])
+        assert "0.123" in text and "0.123456" not in text
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text and "b" in text
+
+
+class TestAsciiPlot:
+    def test_empty_series(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_markers_and_legend(self):
+        text = ascii_plot(
+            {"alpha": [(0, 0), (1, 1)], "beta": [(0, 1), (1, 0)]},
+            width=20, height=5,
+        )
+        assert "A" in text and "B" in text
+        assert "A=alpha" in text and "B=beta" in text
+
+    def test_marker_collision_disambiguated(self):
+        text = ascii_plot(
+            {"same": [(0, 0)], "similar": [(1, 1)]}, width=10, height=4
+        )
+        assert "S=same" in text
+        assert "2=similar" in text
+
+    def test_degenerate_single_point(self):
+        text = ascii_plot({"one": [(5.0, 5.0)]}, width=10, height=4)
+        assert "O" in text
+
+    def test_axis_ranges_shown(self):
+        text = ascii_plot({"s": [(0.0, 10.0), (2.0, 30.0)]},
+                          x_label="load", y_label="latency")
+        assert "load (0 .. 2)" in text
+        assert "latency (10 .. 30)" in text
+
+
+class TestBnfHelpers:
+    def curves(self):
+        curve = BNFCurve(label="SPAA")
+        curve.add(BNFPoint(0.01, 0.2, 50.0))
+        curve.add(BNFPoint(0.02, 0.4, 80.0))
+        return {"SPAA": curve}
+
+    def test_bnf_plot_labels(self):
+        text = bnf_plot(self.curves())
+        assert "delivered flits/router/ns" in text
+        assert "average packet latency" in text
+
+    def test_curves_table_rows(self):
+        text = curves_table(self.curves())
+        assert "SPAA" in text
+        assert text.count("SPAA") == 2  # one row per point

@@ -1,0 +1,51 @@
+"""Unit tests for clocking and link timing constants."""
+
+import pytest
+
+from repro.network.links import DEFAULT_CLOCKS, DEFAULT_LINK, ClockSpec, LinkSpec
+
+
+class TestClockSpec:
+    def test_the_21364_clocks(self):
+        assert DEFAULT_CLOCKS.core_ghz == 1.2
+        assert DEFAULT_CLOCKS.link_ghz == 0.8
+        assert DEFAULT_CLOCKS.cycle_ns == pytest.approx(0.8333, rel=1e-3)
+        assert DEFAULT_CLOCKS.link_cycle_ns == pytest.approx(1.25)
+
+    def test_links_are_one_and_a_half_core_cycles_per_flit(self):
+        """The paper: network links run 33% slower than the router."""
+        assert DEFAULT_CLOCKS.core_cycles_per_flit_on_link == pytest.approx(1.5)
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            ClockSpec(core_ghz=0.0)
+        with pytest.raises(ValueError):
+            ClockSpec(core_ghz=1.0, link_ghz=2.0)
+
+
+class TestLinkSpec:
+    def test_pin_to_pin_latency(self):
+        """13 cycles at 1.2 GHz = the paper's 10.8 ns pin-to-pin."""
+        assert DEFAULT_LINK.pin_to_pin_cycles == 13.0
+        assert DEFAULT_LINK.pin_to_pin_cycles * DEFAULT_CLOCKS.cycle_ns == \
+            pytest.approx(10.8, rel=1e-2)
+
+    def test_hop_latency_includes_link_clocks(self):
+        # 3 network clocks at 0.8 GHz = 4.5 core cycles at 1.2 GHz.
+        hop = DEFAULT_LINK.hop_latency_cycles(DEFAULT_CLOCKS)
+        assert hop == pytest.approx(13.0 + 4.5)
+
+    def test_rejects_negative_latencies(self):
+        with pytest.raises(ValueError):
+            LinkSpec(pin_to_pin_cycles=-1.0)
+
+    def test_minimum_packet_latency_matches_paper_ballpark(self):
+        """Sanity: ~2 hops of a 4x4 uniform workload lands near the
+        paper's 45 ns minimum packet latency."""
+        hop_ns = DEFAULT_LINK.hop_latency_cycles(DEFAULT_CLOCKS) * \
+            DEFAULT_CLOCKS.cycle_ns
+        arbitration_ns = 3 * DEFAULT_CLOCKS.cycle_ns  # SPAA per hop
+        local_ns = DEFAULT_LINK.local_port_cycles * DEFAULT_CLOCKS.cycle_ns
+        tail_ns = 8.5  # the paper's mix-averaged serialization tail
+        estimate = 2 * (hop_ns + arbitration_ns) + 2 * local_ns + tail_ns
+        assert 35.0 < estimate < 60.0

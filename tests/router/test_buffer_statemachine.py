@@ -1,0 +1,144 @@
+"""Stateful property test: InputBuffer as a hypothesis state machine.
+
+Random interleavings of reserve / cancel / commit / inject / remove
+must never violate the buffer's conservation invariants, whatever the
+order -- this is the flow-control foundation the whole timing model
+rests on.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.network.channels import BufferPlan, adaptive_channel, escape_channel
+from repro.network.packets import Packet, PacketClass
+from repro.router.buffers import InputBuffer
+
+CHANNELS = (
+    adaptive_channel(PacketClass.REQUEST),
+    adaptive_channel(PacketClass.BLOCK_RESPONSE),
+    escape_channel(PacketClass.REQUEST, 0),
+)
+
+
+def tiny_plan() -> BufferPlan:
+    return BufferPlan(
+        adaptive_capacity={
+            PacketClass.REQUEST: 3,
+            PacketClass.FORWARD: 2,
+            PacketClass.BLOCK_RESPONSE: 2,
+            PacketClass.NONBLOCK_RESPONSE: 2,
+        },
+        escape_capacity=1,
+    )
+
+
+class BufferMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.buffer = InputBuffer(tiny_plan())
+        self.model_queues = {channel: [] for channel in CHANNELS}
+        self.model_reserved = {channel: 0 for channel in CHANNELS}
+
+    channels = st.sampled_from(range(len(CHANNELS)))
+
+    @rule(index=channels)
+    def reserve(self, index):
+        channel = CHANNELS[index]
+        if self.buffer.can_reserve(channel):
+            self.buffer.reserve(channel)
+            self.model_reserved[channel] += 1
+
+    @rule(index=channels)
+    def cancel(self, index):
+        channel = CHANNELS[index]
+        if self.model_reserved[channel] > 0:
+            self.buffer.cancel_reservation(channel)
+            self.model_reserved[channel] -= 1
+
+    @rule(index=channels)
+    def commit(self, index):
+        channel = CHANNELS[index]
+        if self.model_reserved[channel] > 0:
+            packet = Packet(channel.pclass, 0, 1)
+            self.buffer.commit(packet, channel)
+            self.model_reserved[channel] -= 1
+            self.model_queues[channel].append(packet)
+
+    @rule(index=channels)
+    def inject(self, index):
+        channel = CHANNELS[index]
+        packet = Packet(channel.pclass, 0, 1)
+        accepted = self.buffer.inject(packet, channel)
+        model_free = (
+            self.buffer.capacity(channel)
+            - len(self.model_queues[channel])
+            - self.model_reserved[channel]
+        )
+        assert accepted == (model_free > 0)
+        if accepted:
+            self.model_queues[channel].append(packet)
+
+    @rule(index=channels)
+    def remove_head(self, index):
+        channel = CHANNELS[index]
+        if self.model_queues[channel]:
+            packet = self.model_queues[channel].pop(0)
+            self.buffer.remove(packet, channel)
+
+    @invariant()
+    def occupancy_matches_model(self):
+        if not hasattr(self, "buffer"):
+            return
+        for channel in CHANNELS:
+            assert self.buffer.occupancy(channel) == len(
+                self.model_queues[channel]
+            )
+        assert self.buffer.occupancy() == sum(
+            len(q) for q in self.model_queues.values()
+        )
+
+    @invariant()
+    def heads_match_model(self):
+        if not hasattr(self, "buffer"):
+            return
+        for channel in CHANNELS:
+            expected = (
+                self.model_queues[channel][0]
+                if self.model_queues[channel]
+                else None
+            )
+            assert self.buffer.head(channel) is expected
+
+    @invariant()
+    def free_slots_never_negative(self):
+        if not hasattr(self, "buffer"):
+            return
+        for channel in CHANNELS:
+            assert self.buffer.free_slots(channel) >= 0
+
+    @invariant()
+    def nonempty_tracking_consistent(self):
+        if not hasattr(self, "buffer"):
+            return
+        expected = {
+            channel for channel in CHANNELS if self.model_queues[channel]
+        }
+        tracked = {
+            channel
+            for channel in CHANNELS
+            if channel in self.buffer.channels_with_waiting()
+        }
+        assert tracked == expected
+
+
+BufferMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)
+TestBufferStateMachine = BufferMachine.TestCase

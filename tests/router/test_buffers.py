@@ -1,0 +1,151 @@
+"""Unit tests for per-input-port buffering and credit flow control."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.channels import (
+    BufferPlan,
+    adaptive_channel,
+    escape_channel,
+)
+from repro.network.packets import Packet, PacketClass
+from repro.router.buffers import BufferOverflowError, InputBuffer
+
+
+def small_plan() -> BufferPlan:
+    return BufferPlan(
+        adaptive_capacity={
+            PacketClass.REQUEST: 2,
+            PacketClass.FORWARD: 2,
+            PacketClass.BLOCK_RESPONSE: 2,
+            PacketClass.NONBLOCK_RESPONSE: 2,
+        }
+    )
+
+
+def packet(pclass=PacketClass.REQUEST) -> Packet:
+    return Packet(pclass, source=0, destination=1)
+
+
+REQ = adaptive_channel(PacketClass.REQUEST)
+ESC = escape_channel(PacketClass.REQUEST, 0)
+
+
+class TestReservations:
+    def test_reserve_then_commit(self):
+        buffer = InputBuffer(small_plan())
+        buffer.reserve(REQ)
+        assert buffer.free_slots(REQ) == 1
+        p = packet()
+        buffer.commit(p, REQ)
+        assert buffer.occupancy(REQ) == 1
+        assert buffer.head(REQ) is p
+
+    def test_reserve_beyond_capacity_fails(self):
+        buffer = InputBuffer(small_plan())
+        buffer.reserve(REQ)
+        buffer.reserve(REQ)
+        assert not buffer.can_reserve(REQ)
+        with pytest.raises(BufferOverflowError):
+            buffer.reserve(REQ)
+
+    def test_commit_without_reservation_fails(self):
+        buffer = InputBuffer(small_plan())
+        with pytest.raises(ValueError, match="without reservation"):
+            buffer.commit(packet(), REQ)
+
+    def test_cancel_reservation(self):
+        buffer = InputBuffer(small_plan())
+        buffer.reserve(REQ)
+        buffer.cancel_reservation(REQ)
+        assert buffer.free_slots(REQ) == 2
+        with pytest.raises(ValueError):
+            buffer.cancel_reservation(REQ)
+
+    def test_occupied_plus_reserved_bounds_capacity(self):
+        buffer = InputBuffer(small_plan())
+        buffer.reserve(REQ)
+        buffer.commit(packet(), REQ)
+        buffer.reserve(REQ)
+        assert not buffer.can_reserve(REQ)
+
+
+class TestInjection:
+    def test_inject_succeeds_with_space(self):
+        buffer = InputBuffer(small_plan())
+        assert buffer.inject(packet(), REQ)
+        assert buffer.occupancy() == 1
+
+    def test_inject_fails_when_full(self):
+        buffer = InputBuffer(small_plan())
+        assert buffer.inject(packet(), REQ)
+        assert buffer.inject(packet(), REQ)
+        assert not buffer.inject(packet(), REQ)
+        assert buffer.occupancy(REQ) == 2
+
+    def test_inject_respects_reservations(self):
+        buffer = InputBuffer(small_plan())
+        buffer.reserve(REQ)
+        buffer.reserve(REQ)
+        assert not buffer.inject(packet(), REQ)
+
+
+class TestFifoDiscipline:
+    def test_heads_follow_fifo_order(self):
+        buffer = InputBuffer(small_plan())
+        first, second = packet(), packet()
+        buffer.inject(first, REQ)
+        buffer.inject(second, REQ)
+        assert buffer.head(REQ) is first
+        buffer.remove(first, REQ)
+        assert buffer.head(REQ) is second
+
+    def test_removing_non_head_is_a_model_bug(self):
+        buffer = InputBuffer(small_plan())
+        first, second = packet(), packet()
+        buffer.inject(first, REQ)
+        buffer.inject(second, REQ)
+        with pytest.raises(ValueError, match="head"):
+            buffer.remove(second, REQ)
+
+    def test_channels_are_independent_queues(self):
+        buffer = InputBuffer(small_plan())
+        req_packet = packet()
+        esc_packet = packet()
+        buffer.inject(req_packet, REQ)
+        buffer.inject(esc_packet, ESC)
+        assert buffer.head(REQ) is req_packet
+        assert buffer.head(ESC) is esc_packet
+        assert buffer.occupancy() == 2
+
+
+class TestAccounting:
+    def test_nonempty_channel_tracking(self):
+        buffer = InputBuffer(small_plan())
+        assert buffer.is_empty()
+        assert buffer.channels_with_waiting() == set()
+        p = packet()
+        buffer.inject(p, REQ)
+        assert buffer.channels_with_waiting() == {REQ}
+        buffer.remove(p, REQ)
+        assert buffer.is_empty()
+        assert buffer.channels_with_waiting() == set()
+
+    def test_total_capacity_reports_plan(self):
+        assert InputBuffer(BufferPlan()).total_capacity() == 316
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(st.sampled_from(["inject", "remove"]), max_size=40))
+    def test_occupancy_never_negative_or_above_capacity(self, ops):
+        buffer = InputBuffer(small_plan())
+        live: list[Packet] = []
+        for op in ops:
+            if op == "inject":
+                p = packet()
+                if buffer.inject(p, REQ):
+                    live.append(p)
+            elif live:
+                buffer.remove(live.pop(0), REQ)
+            assert 0 <= buffer.occupancy(REQ) <= buffer.capacity(REQ)
+            assert buffer.occupancy() == len(live)

@@ -1,0 +1,41 @@
+"""Unit tests for the reference pipeline structure (Figure 4)."""
+
+from repro.router.pipeline import (
+    ARBITRATION_STAGES,
+    LOCAL_TO_NETWORK,
+    NETWORK_TO_NETWORK,
+    Stage,
+    pin_to_pin_cycles,
+)
+
+
+class TestPipelineSpecs:
+    def test_arbitration_is_three_stages(self):
+        """LA, RE, GA: the three cycles SPAA's latency refers to."""
+        assert ARBITRATION_STAGES == (Stage.LA, Stage.RE, Stage.GA)
+        assert NETWORK_TO_NETWORK.arbitration_latency == 3
+        assert LOCAL_TO_NETWORK.arbitration_latency == 3
+
+    def test_figure4a_local_pipeline_shape(self):
+        stages = LOCAL_TO_NETWORK.scheduling_stages
+        assert stages[0] is Stage.RT  # router-table lookup first
+        assert stages[-3:] == (Stage.LA, Stage.RE, Stage.GA)
+
+    def test_figure4b_network_pipeline_shape(self):
+        stages = NETWORK_TO_NETWORK.scheduling_stages
+        assert stages[0] is Stage.ECC  # checked on arrival
+        assert Stage.DW in stages
+        assert stages[-3:] == (Stage.LA, Stage.RE, Stage.GA)
+
+    def test_data_pipeline_ends_in_crossbar_and_ecc(self):
+        for spec in (LOCAL_TO_NETWORK, NETWORK_TO_NETWORK):
+            assert spec.data_stages[-2:] == (Stage.X, Stage.ECC)
+
+    def test_pin_to_pin_is_13_cycles(self):
+        """Paper section 2.2: 13 cycles, 10.8 ns at 1.2 GHz."""
+        assert pin_to_pin_cycles() == 13
+
+    def test_latency_properties(self):
+        assert NETWORK_TO_NETWORK.scheduling_latency == 6
+        assert LOCAL_TO_NETWORK.scheduling_latency == 7
+        assert NETWORK_TO_NETWORK.data_latency == 7

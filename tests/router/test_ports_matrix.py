@@ -1,0 +1,124 @@
+"""Unit tests for port naming and the Figure 5 connection matrix."""
+
+import pytest
+
+from repro.network.topology import Direction
+from repro.router.connection_matrix import (
+    DEFAULT_CONNECTION_MATRIX,
+    ConnectionMatrix,
+    default_connections,
+)
+from repro.router.ports import (
+    InputPort,
+    NUM_INPUT_PORTS,
+    NUM_OUTPUT_PORTS,
+    NUM_ROWS,
+    OutputPort,
+    READ_PORTS_PER_INPUT,
+    input_for_direction,
+    network_rows,
+    output_for_direction,
+    port_of_row,
+    row_of,
+)
+
+
+class TestPorts:
+    def test_the_21364_port_counts(self):
+        assert NUM_INPUT_PORTS == 8
+        assert NUM_OUTPUT_PORTS == 7
+        assert READ_PORTS_PER_INPUT == 2
+        assert NUM_ROWS == 16
+
+    def test_network_classification(self):
+        assert InputPort.NORTH.is_network
+        assert InputPort.WEST.is_network
+        assert not InputPort.CACHE.is_network
+        assert not InputPort.IO.is_network
+        assert OutputPort.EAST.is_network
+        assert OutputPort.L0.is_local and OutputPort.IO.is_local
+
+    def test_direction_mapping(self):
+        assert InputPort.NORTH.direction is Direction.NORTH
+        assert OutputPort.SOUTH.direction is Direction.SOUTH
+        with pytest.raises(ValueError):
+            _ = InputPort.CACHE.direction
+        with pytest.raises(ValueError):
+            _ = OutputPort.L1.direction
+
+    def test_row_roundtrip(self):
+        for port in InputPort:
+            for rp in range(READ_PORTS_PER_INPUT):
+                assert port_of_row(row_of(port, rp)) == (port, rp)
+        with pytest.raises(ValueError):
+            row_of(InputPort.NORTH, 2)
+        with pytest.raises(ValueError):
+            port_of_row(16)
+
+    def test_network_rows_are_the_torus_read_ports(self):
+        rows = network_rows()
+        assert rows == tuple(range(8))
+
+    def test_link_endpoint_mapping(self):
+        """A packet sent EAST arrives at the neighbor's WEST input."""
+        assert output_for_direction(Direction.EAST) is OutputPort.EAST
+        assert input_for_direction(Direction.EAST) is InputPort.WEST
+        assert input_for_direction(Direction.NORTH) is InputPort.SOUTH
+
+
+class TestConnectionMatrix:
+    def test_default_has_54_usable_cells(self):
+        """The paper: 'the total nominations for the matrix could be
+        up to 54 (unshaded boxes in Figure 5)'."""
+        assert DEFAULT_CONNECTION_MATRIX.num_connections == 54
+
+    def test_read_ports_partition_the_outputs(self):
+        """'the individual read ports are not connected to all the
+        output ports': rp0 drives the torus outputs, rp1 the locals."""
+        matrix = DEFAULT_CONNECTION_MATRIX
+        for port in InputPort:
+            rp0_outputs = set(matrix.outputs_of_row(row_of(port, 0)))
+            rp1_outputs = set(matrix.outputs_of_row(row_of(port, 1)))
+            assert rp0_outputs <= {0, 1, 2, 3}
+            assert rp1_outputs <= {4, 5, 6}
+            assert not (rp0_outputs & rp1_outputs)
+
+    def test_every_input_port_reaches_every_torus_output(self):
+        matrix = DEFAULT_CONNECTION_MATRIX
+        for port in InputPort:
+            for out in (OutputPort.NORTH, OutputPort.SOUTH,
+                        OutputPort.EAST, OutputPort.WEST):
+                assert matrix.rows_for(port, out), f"{port} cannot reach {out}"
+
+    def test_memory_controllers_avoid_their_own_local_port(self):
+        matrix = DEFAULT_CONNECTION_MATRIX
+        assert not matrix.connected(row_of(InputPort.MC0, 1), OutputPort.L0)
+        assert matrix.connected(row_of(InputPort.MC0, 1), OutputPort.L1)
+        assert not matrix.connected(row_of(InputPort.MC1, 1), OutputPort.L1)
+        assert matrix.connected(row_of(InputPort.MC1, 1), OutputPort.L0)
+
+    def test_rows_of_output_inverse(self):
+        matrix = DEFAULT_CONNECTION_MATRIX
+        for out in range(NUM_OUTPUT_PORTS):
+            for row in matrix.rows_of_output(out):
+                assert matrix.connected(row, out)
+
+    def test_rejects_out_of_range_cells(self):
+        with pytest.raises(ValueError):
+            ConnectionMatrix(cells=frozenset({(99, 0)}))
+        with pytest.raises(ValueError):
+            ConnectionMatrix(cells=frozenset({(0, 9)}))
+
+    def test_custom_matrix_supported(self):
+        tiny = ConnectionMatrix(cells=frozenset({(0, 0), (1, 1)}))
+        assert tiny.num_connections == 2
+        assert tiny.outputs_of_row(0) == (0,)
+        assert tiny.outputs_of_row(5) == ()
+
+    def test_render_lists_every_row(self):
+        text = DEFAULT_CONNECTION_MATRIX.render()
+        assert text.count("\n") == NUM_ROWS
+        assert "L-CACHE" in text and "G-L0" in text
+
+    def test_default_connections_is_stable(self):
+        assert default_connections() == default_connections()

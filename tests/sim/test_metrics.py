@@ -1,0 +1,115 @@
+"""Unit and property tests for statistics and BNF curve helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import BNFCurve, BNFPoint, NetworkStats, RunningStats
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_empty_stats_are_nan(self):
+        stats = RunningStats()
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.variance)
+        assert stats.count == 0
+
+    def test_known_sequence(self):
+        stats = RunningStats()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.variance == pytest.approx(32 / 7)
+        assert stats.minimum == 2.0 and stats.maximum == 9.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(finite_floats, min_size=1, max_size=100))
+    def test_matches_direct_computation(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        if len(values) > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+            assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.lists(finite_floats, max_size=50),
+        right=st.lists(finite_floats, max_size=50),
+    )
+    def test_merge_equals_concatenation(self, left, right):
+        merged = RunningStats()
+        for value in left:
+            merged.add(value)
+        other = RunningStats()
+        for value in right:
+            other.add(value)
+        merged.merge(other)
+        combined = RunningStats()
+        for value in left + right:
+            combined.add(value)
+        assert merged.count == combined.count
+        if combined.count:
+            assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+            assert merged.minimum == combined.minimum
+            assert merged.maximum == combined.maximum
+
+
+class TestNetworkStats:
+    def test_throughput_metric(self):
+        stats = NetworkStats(num_routers=16)
+        stats.flits_delivered = 3200
+        stats.window_ns = 100.0
+        assert stats.delivered_flits_per_router_ns() == pytest.approx(2.0)
+
+    def test_zero_window_is_zero_throughput(self):
+        assert NetworkStats().delivered_flits_per_router_ns() == 0.0
+
+
+class TestBNFCurve:
+    def curve(self) -> BNFCurve:
+        curve = BNFCurve(label="test")
+        for rate, throughput, latency in (
+            (0.01, 0.2, 50.0),
+            (0.02, 0.4, 60.0),
+            (0.04, 0.6, 100.0),
+            (0.08, 0.5, 300.0),  # fold-back beyond saturation
+        ):
+            curve.add(BNFPoint(rate, throughput, latency))
+        return curve
+
+    def test_peak_throughput(self):
+        assert self.curve().peak_throughput() == pytest.approx(0.6)
+
+    def test_throughput_at_latency_interpolates(self):
+        curve = self.curve()
+        assert curve.throughput_at_latency(80.0) == pytest.approx(0.5)
+
+    def test_throughput_below_first_point(self):
+        assert self.curve().throughput_at_latency(10.0) == pytest.approx(0.2)
+
+    def test_throughput_beyond_curve_returns_best(self):
+        assert self.curve().throughput_at_latency(1000.0) == pytest.approx(0.6)
+
+    def test_foldback_reports_best_reached(self):
+        # At 300 ns the curve has folded back to 0.5, but 0.6 was
+        # reached at a lower latency -- the best achievable at or
+        # below that latency is what the paper compares.
+        assert self.curve().throughput_at_latency(300.0) == pytest.approx(0.6)
+
+    def test_empty_curve(self):
+        empty = BNFCurve(label="empty")
+        assert empty.peak_throughput() == 0.0
+        assert empty.throughput_at_latency(100.0) == 0.0
+
+    def test_point_as_row(self):
+        point = BNFPoint(0.01, 0.5, 60.0)
+        assert point.as_row() == (0.01, 0.5, 60.0)

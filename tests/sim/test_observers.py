@@ -1,0 +1,175 @@
+"""Tests for the instrumentation observers."""
+
+import math
+
+import pytest
+
+from repro.network.packets import Packet, PacketClass
+from repro.sim.config import NetworkConfig, SimulationConfig, TrafficConfig
+from repro.sim.observers import (
+    BufferOccupancyProbe,
+    PacketTracer,
+    ThroughputTimeline,
+)
+from repro.sim.timing_model import NetworkSimulator
+
+
+class FakeSimulator:
+    def __init__(self):
+        self.now = 0.0
+
+    def total_buffered_packets(self):
+        return 5
+
+
+class FakeRouter:
+    node = 3
+
+
+class FakeDispatch:
+    def __init__(self, packet):
+        self.packet = packet
+        self.grant_time = 0.0
+        self.service_cycles = 4.5
+
+        class Plan:
+            output = 2
+            target_channel = None
+
+        self.plan = Plan()
+
+
+class TestThroughputTimeline:
+    def test_windows_accumulate_flits(self):
+        timeline = ThroughputTimeline(window_cycles=100.0)
+        sim = FakeSimulator()
+        packet = Packet(PacketClass.REQUEST, 0, 1)
+        sim.now = 50.0
+        timeline.on_delivery(sim, packet)
+        sim.now = 250.0
+        timeline.on_delivery(sim, packet)
+        assert timeline.windows == [3, 0, 3]
+
+    def test_oscillation_flat_series_is_zero(self):
+        timeline = ThroughputTimeline(100.0)
+        timeline.windows = [10, 10, 10, 10]
+        assert timeline.oscillation() == 0.0
+
+    def test_oscillation_alternating_series(self):
+        timeline = ThroughputTimeline(100.0)
+        timeline.windows = [0, 20] * 10
+        assert timeline.oscillation() == pytest.approx(
+            math.sqrt(20 * 20 * 0.25 * 20 / 19) / 10, rel=0.05
+        )
+
+    def test_dominant_period_of_a_square_wave(self):
+        timeline = ThroughputTimeline(100.0)
+        timeline.windows = ([0] * 5 + [20] * 5) * 6
+        period = timeline.dominant_period()
+        assert period is not None
+        assert 8 <= period <= 12  # true period: 10 windows
+
+    def test_dominant_period_none_for_noiseless_flat(self):
+        timeline = ThroughputTimeline(100.0)
+        timeline.windows = [7] * 40
+        assert timeline.dominant_period() is None
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ThroughputTimeline(0.0)
+
+
+class TestBufferOccupancyProbe:
+    def test_samples_with_min_interval(self):
+        probe = BufferOccupancyProbe(min_interval_cycles=100.0)
+        sim = FakeSimulator()
+        dispatch = FakeDispatch(Packet(PacketClass.REQUEST, 0, 1))
+        for now in (0.0, 10.0, 99.0, 100.0, 150.0, 230.0):
+            sim.now = now
+            probe.on_dispatch(sim, FakeRouter(), dispatch)
+        times = [t for t, _ in probe.samples]
+        assert times == [0.0, 100.0, 230.0]
+        assert probe.peak() == 5
+        assert probe.mean() == 5.0
+
+    def test_empty_probe(self):
+        probe = BufferOccupancyProbe()
+        assert probe.peak() == 0
+        assert probe.mean() == 0.0
+
+
+class TestPacketTracer:
+    def test_sampling_by_uid(self):
+        tracer = PacketTracer(sample_every=2)
+        sim = FakeSimulator()
+        even = Packet(PacketClass.REQUEST, 0, 1)
+        # Force known uids by constructing until parity matches.
+        while even.uid % 2 != 0:
+            even = Packet(PacketClass.REQUEST, 0, 1)
+        odd = Packet(PacketClass.REQUEST, 0, 1)
+        tracer.on_dispatch(sim, FakeRouter(), FakeDispatch(even))
+        tracer.on_dispatch(sim, FakeRouter(), FakeDispatch(odd))
+        assert even.uid in tracer.traces
+        assert odd.uid not in tracer.traces
+
+    def test_trace_records_hops_and_delivery(self):
+        tracer = PacketTracer(sample_every=1)
+        sim = FakeSimulator()
+        packet = Packet(PacketClass.REQUEST, 0, 1)
+        tracer.on_dispatch(sim, FakeRouter(), FakeDispatch(packet))
+        sim.now = 42.0
+        tracer.on_delivery(sim, packet)
+        trace = tracer.traces[packet.uid]
+        assert trace.hop_count == 1
+        assert trace.hops[0].node == 3
+        assert trace.delivered_at == 42.0
+        assert tracer.longest() is trace
+
+    def test_max_traces_cap(self):
+        tracer = PacketTracer(sample_every=1, max_traces=2)
+        sim = FakeSimulator()
+        for _ in range(5):
+            packet = Packet(PacketClass.REQUEST, 0, 1)
+            tracer.on_dispatch(sim, FakeRouter(), FakeDispatch(packet))
+        assert len(tracer.traces) == 2
+
+    def test_rejects_bad_sampling(self):
+        with pytest.raises(ValueError):
+            PacketTracer(sample_every=0)
+
+
+class TestIntegration:
+    def test_observers_attached_to_a_real_run(self):
+        config = SimulationConfig(
+            network=NetworkConfig(width=2, height=2),
+            traffic=TrafficConfig(injection_rate=0.01),
+            warmup_cycles=200,
+            measure_cycles=1_500,
+            seed=3,
+        )
+        sim = NetworkSimulator(config)
+        timeline = ThroughputTimeline(window_cycles=200.0)
+        probe = BufferOccupancyProbe(100.0)
+        tracer = PacketTracer(sample_every=3)
+        for observer in (timeline, probe, tracer):
+            sim.attach_observer(observer)
+        sim.run()
+        assert sum(timeline.windows) > 0
+        assert probe.samples
+        assert tracer.completed()
+        # Hop counts match the torus: on a 2x2, at most 2 hops.
+        for trace in tracer.completed():
+            assert trace.hop_count <= 3
+
+    def test_observers_do_not_change_results(self):
+        config = SimulationConfig(
+            network=NetworkConfig(width=2, height=2),
+            traffic=TrafficConfig(injection_rate=0.01),
+            warmup_cycles=200,
+            measure_cycles=1_000,
+            seed=3,
+        )
+        plain = NetworkSimulator(config).bnf_point()
+        observed_sim = NetworkSimulator(config)
+        observed_sim.attach_observer(ThroughputTimeline(100.0))
+        assert observed_sim.bnf_point() == plain

@@ -1,0 +1,85 @@
+"""Tests for the percentile reservoir sampler."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import ReservoirSampler
+
+
+class TestReservoirSampler:
+    def test_small_stream_kept_exactly(self):
+        sampler = ReservoirSampler(capacity=100)
+        for value in range(10):
+            sampler.add(float(value))
+        assert sampler.sampled == 10
+        assert sampler.percentile(0.0) == 0.0
+        assert sampler.percentile(1.0) == 9.0
+        assert sampler.percentile(0.5) == pytest.approx(4.5)
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(ReservoirSampler().percentile(0.5))
+
+    def test_invalid_quantile_rejected(self):
+        sampler = ReservoirSampler()
+        sampler.add(1.0)
+        with pytest.raises(ValueError):
+            sampler.percentile(1.5)
+
+    def test_capacity_bound(self):
+        sampler = ReservoirSampler(capacity=32, seed=1)
+        for value in range(10_000):
+            sampler.add(float(value))
+        assert sampler.sampled == 32
+        assert sampler.count == 10_000
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(capacity=0)
+
+    def test_deterministic_given_seed(self):
+        def build():
+            sampler = ReservoirSampler(capacity=16, seed=9)
+            for value in range(1000):
+                sampler.add(float(value))
+            return sampler.percentile(0.5)
+
+        assert build() == build()
+
+    def test_large_uniform_stream_percentiles_approximate(self):
+        rng = random.Random(4)
+        sampler = ReservoirSampler(capacity=2048, seed=4)
+        for _ in range(50_000):
+            sampler.add(rng.random())
+        assert sampler.percentile(0.5) == pytest.approx(0.5, abs=0.05)
+        assert sampler.percentile(0.95) == pytest.approx(0.95, abs=0.05)
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=200,
+    ))
+    def test_percentiles_within_observed_range(self, values):
+        sampler = ReservoirSampler(capacity=64, seed=0)
+        for value in values:
+            sampler.add(value)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            result = sampler.percentile(q)
+            assert min(values) <= result <= max(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=100,
+    ))
+    def test_percentiles_monotone_in_q(self, values):
+        sampler = ReservoirSampler(capacity=256, seed=0)
+        for value in values:
+            sampler.add(value)
+        quantiles = [sampler.percentile(q) for q in (0.1, 0.5, 0.9)]
+        assert quantiles == sorted(quantiles)

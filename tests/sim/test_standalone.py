@@ -1,0 +1,121 @@
+"""Tests for the standalone matching model (Figures 8 and 9 substrate)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.types import validate_matching
+from repro.sim.standalone import (
+    StandaloneConfig,
+    StandaloneRouterModel,
+    find_mcm_saturation_load,
+    measure_matches,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"load": 0},
+        {"occupancy": 1.0},
+        {"occupancy": -0.1},
+        {"local_fraction": 2.0},
+        {"two_direction_fraction": -1.0},
+        {"trials": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            StandaloneConfig(**kwargs)
+
+
+class TestModelMechanics:
+    def test_deterministic_given_seed(self):
+        config = StandaloneConfig(algorithm="PIM1", load=16, trials=50, seed=9)
+        assert measure_matches(config) == measure_matches(config)
+
+    def test_different_seeds_differ(self):
+        low = StandaloneConfig(algorithm="PIM1", load=16, trials=50, seed=1)
+        high = replace(low, seed=2)
+        assert measure_matches(low) != measure_matches(high)
+
+    @pytest.mark.parametrize("algorithm", ["MCM", "WFA", "PIM", "PIM1", "SPAA"])
+    def test_grants_are_legal_matchings(self, algorithm):
+        config = StandaloneConfig(algorithm=algorithm, load=24, trials=1)
+        model = StandaloneRouterModel(config)
+        packets = model._generate_packets()
+        free = model._generate_free_outputs()
+        nominations = model._build_nominations(packets, free)
+        grants = model._arbiter.arbitrate(nominations, free)
+        validate_matching(nominations, grants, free)
+
+    def test_occupancy_limits_matches(self):
+        free = measure_matches(StandaloneConfig(algorithm="MCM", load=32,
+                                                trials=100))
+        busy = measure_matches(StandaloneConfig(algorithm="MCM", load=32,
+                                                trials=100, occupancy=0.75))
+        assert busy < free
+        assert busy <= 2.0 + 1e-9  # only ~2 outputs free
+
+    def test_matches_bounded_by_outputs(self):
+        value = measure_matches(StandaloneConfig(algorithm="MCM", load=200,
+                                                 trials=20))
+        assert value <= 7.0
+
+    def test_matches_grow_with_load(self):
+        small = measure_matches(StandaloneConfig(algorithm="MCM", load=4,
+                                                 trials=200))
+        large = measure_matches(StandaloneConfig(algorithm="MCM", load=32,
+                                                 trials=200))
+        assert large > small
+
+    def test_spaa_uses_one_nomination_per_port(self):
+        config = StandaloneConfig(algorithm="SPAA", load=64, trials=1)
+        model = StandaloneRouterModel(config)
+        packets = model._generate_packets()
+        nominations = model._build_nominations(packets, frozenset(range(7)))
+        ports = [nom.group for nom in nominations]
+        assert len(ports) == len(set(ports)) <= 8
+        assert all(len(nom.outputs) == 1 for nom in nominations)
+
+    def test_pim_gets_multi_output_nominations(self):
+        config = StandaloneConfig(algorithm="PIM", load=64, trials=1,
+                                  two_direction_fraction=1.0)
+        model = StandaloneRouterModel(config)
+        packets = model._generate_packets()
+        nominations = model._build_nominations(packets, frozenset(range(7)))
+        assert any(len(nom.outputs) == 2 for nom in nominations)
+
+
+class TestSaturationSearch:
+    def test_finds_a_plateau(self):
+        base = StandaloneConfig(trials=200)
+        load = find_mcm_saturation_load(base, tolerance=0.02)
+        at = measure_matches(replace(base, algorithm="MCM", load=load))
+        beyond = measure_matches(replace(base, algorithm="MCM", load=load * 2))
+        assert beyond - at < 0.05 * at
+
+    def test_respects_max_load(self):
+        base = StandaloneConfig(trials=50)
+        assert find_mcm_saturation_load(base, tolerance=1e-9, max_load=16) == 16
+
+
+class TestPaperShape:
+    """The Figure 8/9 orderings, pinned as regression tests."""
+
+    def test_figure8_ordering_at_saturation(self):
+        values = {
+            algorithm: measure_matches(
+                StandaloneConfig(algorithm=algorithm, load=32, trials=300)
+            )
+            for algorithm in ("MCM", "WFA", "PIM", "PIM1", "SPAA")
+        }
+        assert values["MCM"] >= values["WFA"] - 0.05
+        assert values["MCM"] >= values["PIM"] - 0.05
+        assert values["WFA"] > values["PIM1"] > values["SPAA"]
+
+    def test_figure9_gap_vanishes_at_75_percent(self):
+        gap = []
+        for algorithm in ("MCM", "SPAA"):
+            gap.append(measure_matches(StandaloneConfig(
+                algorithm=algorithm, load=32, occupancy=0.75, trials=400
+            )))
+        assert gap[0] == pytest.approx(gap[1], rel=0.05)

@@ -1,0 +1,81 @@
+"""Tests for the load-sweep helpers."""
+
+import pytest
+
+from repro.sim.config import NetworkConfig, SimulationConfig, TrafficConfig
+from repro.sim.metrics import BNFCurve, BNFPoint
+from repro.sim.sweep import (
+    geometric_rates,
+    sweep_algorithm,
+    sweep_algorithms,
+    throughput_gain_at_latency,
+)
+
+
+def tiny_config() -> SimulationConfig:
+    return SimulationConfig(
+        network=NetworkConfig(width=2, height=2),
+        traffic=TrafficConfig(injection_rate=0.01),
+        warmup_cycles=200,
+        measure_cycles=800,
+        seed=3,
+    )
+
+
+class TestGeometricRates:
+    def test_endpoints_and_count(self):
+        rates = geometric_rates(0.001, 0.064, 7)
+        assert len(rates) == 7
+        assert rates[0] == pytest.approx(0.001)
+        assert rates[-1] == pytest.approx(0.064)
+
+    def test_geometric_spacing(self):
+        rates = geometric_rates(1.0, 8.0, 4)
+        ratios = [b / a for a, b in zip(rates, rates[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_rates(0.1, 0.01, 5)
+        with pytest.raises(ValueError):
+            geometric_rates(0.1, 0.2, 1)
+
+
+class TestSweeps:
+    def test_sweep_algorithm_produces_labeled_curve(self):
+        curve = sweep_algorithm(tiny_config(), rates=(0.005, 0.02))
+        assert curve.label == "SPAA-base"
+        assert len(curve.points) == 2
+        assert curve.points[0].offered_rate == 0.005
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        sweep_algorithm(tiny_config(), rates=(0.005,), progress=lines.append)
+        assert len(lines) == 1
+        assert "SPAA-base" in lines[0]
+
+    def test_sweep_algorithms_covers_all(self):
+        curves = sweep_algorithms(
+            tiny_config(), ("SPAA-base", "PIM1"), rates=(0.01,)
+        )
+        assert set(curves) == {"SPAA-base", "PIM1"}
+        assert all(len(c.points) == 1 for c in curves.values())
+
+
+class TestGainAtLatency:
+    def curve(self, label, scale):
+        curve = BNFCurve(label=label)
+        curve.add(BNFPoint(0.01, 0.2 * scale, 50.0))
+        curve.add(BNFPoint(0.02, 0.4 * scale, 100.0))
+        return curve
+
+    def test_relative_gain(self):
+        winner = self.curve("w", 1.2)
+        loser = self.curve("l", 1.0)
+        assert throughput_gain_at_latency(winner, loser, 75.0) == \
+            pytest.approx(0.2)
+
+    def test_zero_loser_is_infinite(self):
+        winner = self.curve("w", 1.0)
+        loser = BNFCurve(label="l")
+        assert throughput_gain_at_latency(winner, loser, 75.0) == float("inf")

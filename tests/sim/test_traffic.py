@@ -1,0 +1,124 @@
+"""Unit and property tests for destination patterns and injection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.topology import Torus2D
+from repro.sim.traffic import (
+    BitReversalPattern,
+    PerfectShufflePattern,
+    PoissonInjector,
+    UniformPattern,
+    make_pattern,
+)
+
+
+class TestUniform:
+    def test_never_targets_self(self):
+        pattern = UniformPattern(16, random.Random(0))
+        for source in range(16):
+            for _ in range(50):
+                assert pattern.destination(source) != source
+
+    def test_covers_every_other_node(self):
+        pattern = UniformPattern(8, random.Random(1))
+        seen = {pattern.destination(3) for _ in range(500)}
+        assert seen == set(range(8)) - {3}
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            UniformPattern(1, random.Random(0))
+
+
+class TestBitReversal:
+    def test_known_values_16_nodes(self):
+        pattern = BitReversalPattern(16)
+        # 4 bits: 0b0001 -> 0b1000, 0b0011 -> 0b1100.
+        assert pattern.destination(0b0001) == 0b1000
+        assert pattern.destination(0b0011) == 0b1100
+        assert pattern.destination(0) == 0
+        assert pattern.destination(0b1111) == 0b1111
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            BitReversalPattern(12 * 12)
+
+    def test_is_an_involution(self):
+        pattern = BitReversalPattern(64)
+        for node in range(64):
+            assert pattern.destination(pattern.destination(node)) == node
+
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.integers(min_value=1, max_value=8))
+    def test_is_a_permutation(self, bits):
+        pattern = BitReversalPattern(1 << bits)
+        images = {pattern.destination(n) for n in range(1 << bits)}
+        assert images == set(range(1 << bits))
+
+
+class TestPerfectShuffle:
+    def test_known_values_16_nodes(self):
+        pattern = PerfectShufflePattern(16)
+        # Rotate left: (a2 a1 a0 a3).
+        assert pattern.destination(0b1000) == 0b0001
+        assert pattern.destination(0b0001) == 0b0010
+        assert pattern.destination(0b1001) == 0b0011
+
+    @settings(max_examples=30, deadline=None)
+    @given(bits=st.integers(min_value=1, max_value=8))
+    def test_is_a_permutation(self, bits):
+        pattern = PerfectShufflePattern(1 << bits)
+        images = {pattern.destination(n) for n in range(1 << bits)}
+        assert images == set(range(1 << bits))
+
+    @settings(max_examples=20, deadline=None)
+    @given(bits=st.integers(min_value=1, max_value=6))
+    def test_n_rotations_return_home(self, bits):
+        pattern = PerfectShufflePattern(1 << bits)
+        for node in range(1 << bits):
+            current = node
+            for _ in range(bits):
+                current = pattern.destination(current)
+            assert current == node
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PerfectShufflePattern(16).destination(99)
+
+
+class TestMakePattern:
+    def test_builds_all_paper_patterns(self):
+        torus = Torus2D(4, 4)
+        rng = random.Random(0)
+        assert make_pattern("uniform", torus, rng).name == "uniform"
+        assert make_pattern("bit-reversal", torus, rng).name == "bit-reversal"
+        assert make_pattern("perfect-shuffle", torus, rng).name == \
+            "perfect-shuffle"
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            make_pattern("tornado", Torus2D(4, 4), random.Random(0))
+
+    def test_permutations_rejected_on_non_power_of_two(self):
+        torus = Torus2D(12, 12)
+        with pytest.raises(ValueError):
+            make_pattern("bit-reversal", torus, random.Random(0))
+
+
+class TestPoissonInjector:
+    def test_mean_interval_matches_rate(self):
+        injector = PoissonInjector(0.02, random.Random(7))
+        samples = [injector.next_interval() for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(1 / 0.02, rel=0.1)
+
+    def test_intervals_positive(self):
+        injector = PoissonInjector(0.5, random.Random(7))
+        assert all(injector.next_interval() > 0 for _ in range(100))
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonInjector(0.0, random.Random(0))
