@@ -12,7 +12,6 @@ standalone model's knobs to answer questions the paper leaves implicit:
 Runtime: under a minute.  Run: ``python examples/matching_study.py``
 """
 
-from dataclasses import replace
 
 from repro.experiments.report import ascii_plot, format_table
 from repro.sim import StandaloneConfig, measure_matches

@@ -6,6 +6,7 @@ import abc
 from typing import Sequence
 
 from repro.core.types import Grant, Nomination
+from repro.obs.telemetry import NULL_TELEMETRY
 
 
 class Arbiter(abc.ABC):
@@ -22,6 +23,13 @@ class Arbiter(abc.ABC):
 
     #: human-readable algorithm name, e.g. ``"SPAA-rotary"``.
     name: str = "arbiter"
+
+    #: observability hook (see :mod:`repro.obs`); the simulator swaps
+    #: in a live :class:`~repro.obs.telemetry.Telemetry` when enabled.
+    #: Instrumented arbitrate() implementations must guard every use
+    #: with ``if self.telemetry.enabled`` so the default costs one
+    #: predictable branch.
+    telemetry = NULL_TELEMETRY
 
     @abc.abstractmethod
     def arbitrate(

@@ -66,6 +66,14 @@ class PIMArbiter(Arbiter):
     ) -> list[Grant]:
         usable = usable_nominations(nominations, free_outputs)
         if not usable:
+            tel = self.telemetry
+            if tel.enabled and nominations:
+                tel.on_arbitration(
+                    self.name,
+                    nominated=len(nominations),
+                    granted=0,
+                    conflicts=len(nominations),
+                )
             return []
         max_rounds = self._iterations
         if max_rounds is None:
@@ -79,6 +87,7 @@ class PIMArbiter(Arbiter):
         matched_packets: set[int] = set()
         matched_outputs: set[int] = set()
         grants: list[Grant] = []
+        wasted_grants = 0
 
         for _ in range(max_rounds):
             # Nominate: every still-unmatched row requests all of its
@@ -118,9 +127,12 @@ class PIMArbiter(Arbiter):
                 )
                 offers.setdefault(chosen.row, []).append((out, chosen))
 
-            # Accept: each row with offers accepts one at random.
+            # Accept: each row with offers accepts one at random.  Any
+            # extra offers to the same row are the single-iteration
+            # waste Figures 8/9 quantify.
             progressed = False
             for row in sorted(offers):
+                wasted_grants += len(offers[row]) - 1
                 out, nom = offers[row][self._rng.randrange(len(offers[row]))]
                 grants.append(Grant(row=row, packet=nom.packet, output=out))
                 matched_rows.add(row)
@@ -129,6 +141,17 @@ class PIMArbiter(Arbiter):
                 progressed = True
             if not progressed:
                 break
+
+        tel = self.telemetry
+        if tel.enabled:
+            tel.on_arbitration(
+                self.name,
+                nominated=len(nominations),
+                granted=len(grants),
+                conflicts=len(nominations) - len(grants),
+            )
+            if wasted_grants:
+                tel.count_algo("pim_wasted_grants_total", self.name, wasted_grants)
         return grants
 
 

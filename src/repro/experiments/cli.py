@@ -4,7 +4,13 @@ Usage::
 
     repro-experiments fig8
     repro-experiments fig10 --preset paper --output results/fig10.txt
+    repro-experiments fig10 --telemetry-dir results/traces
     repro-experiments all --preset fast
+    repro-experiments obs summarize results/traces/**/*.jsonl
+
+The ``obs`` subcommand delegates to :mod:`repro.obs.cli` (also
+installed as ``repro-obs``) for inspecting the JSONL telemetry traces
+that ``--telemetry-dir`` produces.
 """
 
 from __future__ import annotations
@@ -32,7 +38,10 @@ def _run_fig10(args: argparse.Namespace) -> str:
         if not panels:
             raise SystemExit(f"no Figure 10 panel matches {args.panel!r}")
     result = figure10.run_figure10(
-        preset=args.preset, panels=panels, progress=_progress(args)
+        preset=args.preset,
+        panels=panels,
+        progress=_progress(args),
+        telemetry_dir=args.telemetry_dir,
     )
     return figure10.format_figure10(result)
 
@@ -44,7 +53,10 @@ def _run_fig11(args: argparse.Namespace) -> str:
         if not panels:
             raise SystemExit("Figure 11 panels are a, b and c")
     result = figure11.run_figure11(
-        preset=args.preset, panels=panels, progress=_progress(args)
+        preset=args.preset,
+        panels=panels,
+        progress=_progress(args),
+        telemetry_dir=args.telemetry_dir,
     )
     return figure11.format_figure11(result)
 
@@ -107,12 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None, help="also write the report here"
     )
     parser.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        help="write a JSONL telemetry trace per fig10/fig11 BNF point "
+             "into this directory (inspect with 'repro-experiments obs')",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
     )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        # Telemetry-trace inspection lives in its own sub-CLI with its
+        # own argument grammar; hand the rest of the line over.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []

@@ -20,6 +20,7 @@ for back-pressure to bind at the paper's saturation point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.registry import TIMING_ALGORITHMS
 from repro.experiments.report import bnf_plot, curves_table, format_table
@@ -134,10 +135,25 @@ def run_panel(
     algorithms: tuple[str, ...] = TIMING_ALGORITHMS,
     seed: int = 42,
     progress=None,
+    telemetry_dir=None,
 ) -> dict[str, BNFCurve]:
-    """Sweep one Figure 10 panel."""
+    """Sweep one Figure 10 panel.
+
+    With *telemetry_dir* set, every BNF point writes a JSONL telemetry
+    trace under ``<telemetry_dir>/<panel-slug>/`` and carries its
+    arbiter counters (see :mod:`repro.obs`).
+    """
     config = panel_config(panel, preset, seed)
-    return sweep_algorithms(config, algorithms, panel.rates, progress)
+    if telemetry_dir is not None:
+        telemetry_dir = Path(telemetry_dir) / panel_slug(panel.name)
+    return sweep_algorithms(
+        config, algorithms, panel.rates, progress, telemetry_dir=telemetry_dir
+    )
+
+
+def panel_slug(name: str) -> str:
+    """Filesystem-safe directory name for a panel."""
+    return "".join(c if c.isalnum() or c in "-x" else "_" for c in name).strip("_")
 
 
 def run_figure10(
@@ -146,6 +162,7 @@ def run_figure10(
     algorithms: tuple[str, ...] = TIMING_ALGORITHMS,
     seed: int = 42,
     progress=None,
+    telemetry_dir=None,
 ) -> Figure10Result:
     """Regenerate every panel of Figure 10."""
     result = Figure10Result(preset=preset)
@@ -153,7 +170,7 @@ def run_figure10(
         if progress is not None:
             progress(f"--- {panel.name} ---")
         result.panels[panel.name] = run_panel(
-            panel, preset, algorithms, seed, progress
+            panel, preset, algorithms, seed, progress, telemetry_dir
         )
     return result
 

@@ -15,6 +15,7 @@ Three panels, each sweeping PIM1, WFA-rotary and SPAA-rotary:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.experiments.report import bnf_plot, curves_table, format_table
 from repro.sim.config import (
@@ -113,9 +114,14 @@ def run_panel(
     algorithms: tuple[str, ...] = SCALING_ALGORITHMS,
     seed: int = 42,
     progress=None,
+    telemetry_dir=None,
 ) -> dict[str, BNFCurve]:
     config = panel_config(panel, preset, seed)
-    return sweep_algorithms(config, algorithms, panel.rates, progress)
+    if telemetry_dir is not None:
+        telemetry_dir = Path(telemetry_dir) / f"fig11{panel.key}"
+    return sweep_algorithms(
+        config, algorithms, panel.rates, progress, telemetry_dir=telemetry_dir
+    )
 
 
 def run_figure11(
@@ -124,6 +130,7 @@ def run_figure11(
     algorithms: tuple[str, ...] = SCALING_ALGORITHMS,
     seed: int = 42,
     progress=None,
+    telemetry_dir=None,
 ) -> Figure11Result:
     result = Figure11Result(preset=preset)
     for panel in panels:
@@ -131,7 +138,7 @@ def run_figure11(
             progress(f"--- Figure 11{panel.key}: {panel.name} ---")
         result.panel_specs[panel.name] = panel
         result.panels[panel.name] = run_panel(
-            panel, preset, algorithms, seed, progress
+            panel, preset, algorithms, seed, progress, telemetry_dir
         )
     return result
 

@@ -1,0 +1,222 @@
+"""``repro obs`` -- inspect JSONL telemetry traces from the CLI.
+
+Three subcommands::
+
+    repro-obs summarize trace.jsonl          # manifest + counters + ports
+    repro-obs diff base.jsonl contender.jsonl
+    repro-obs ports trace.jsonl --top 10     # busiest (node, port) pairs
+
+Also reachable as ``repro-experiments obs ...`` and
+``python -m repro.obs ...``; the traces come from any run with a
+:class:`repro.obs.sink.JsonlSink` attached -- e.g.
+``sweep_algorithm(..., telemetry_dir=...)`` or
+``repro-experiments fig10 --telemetry-dir runs/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.report import format_table
+from repro.obs.analysis import (
+    TraceSummary,
+    diff_summaries,
+    output_port_name,
+    summarize_trace,
+)
+
+
+def _render_summary(summary: TraceSummary) -> str:
+    parts = [f"== trace: {summary.path} =="]
+    manifest = summary.manifest
+    if manifest is not None:
+        rows = [
+            ("schema", f"v{manifest.schema_version}"),
+            ("algorithm", manifest.algorithm),
+            ("seed", manifest.seed),
+            ("package", f"repro {manifest.package_version}"),
+            ("python", manifest.python),
+            ("created", manifest.created_at),
+        ]
+        for key in ("warmup_cycles", "measure_cycles"):
+            if key in manifest.config:
+                rows.append((key, manifest.config[key]))
+        traffic = manifest.config.get("traffic", {})
+        if isinstance(traffic, dict) and "injection_rate" in traffic:
+            rows.append(("injection_rate", traffic["injection_rate"]))
+        parts.append(format_table(("field", "value"), rows, title="Run manifest"))
+    else:
+        parts.append("(no manifest record -- truncated trace?)")
+
+    arbitration = summary.arbitration_counts()
+    if arbitration:
+        rows = []
+        for algorithm, counts in sorted(arbitration.items()):
+            nominations = counts["nominations"]
+            rate = counts["grants"] / nominations if nominations else 0.0
+            rows.append((
+                algorithm,
+                nominations,
+                counts["grants"],
+                counts["conflicts"],
+                f"{rate:.1%}",
+            ))
+        parts.append(format_table(
+            ("algorithm", "nominations", "grants", "conflicts", "grant rate"),
+            rows,
+            title="Arbitration counters",
+        ))
+
+    scalars = [
+        (name, int(summary.scalar(name)))
+        for name in (
+            "sim_injections_total",
+            "sim_deliveries_total",
+            "router_speculation_drops_total",
+            "router_starvation_engagements_total",
+        )
+        if summary.scalar(name)
+    ]
+    latency = summary.mean_latency_cycles()
+    if latency is not None:
+        scalars.append(("mean delivery latency (cycles)", f"{latency:.1f}"))
+    if summary.wall_time_s is not None:
+        scalars.append(("wall time (s)", f"{summary.wall_time_s:.2f}"))
+    if scalars:
+        parts.append(format_table(("metric", "value"), scalars, title="Totals"))
+
+    by_output = summary.utilization_by_output()
+    if by_output:
+        parts.append(format_table(
+            ("output port", "mean util", "max util"),
+            [
+                (output_port_name(output), f"{mean:.1%}", f"{peak:.1%}")
+                for output, (mean, peak) in by_output.items()
+            ],
+            title="Per-output-port utilization (across nodes)",
+        ))
+
+    if summary.event_counts:
+        parts.append(format_table(
+            ("event kind", "records"),
+            sorted(summary.event_counts.items()),
+            title="Trace events",
+        ))
+
+    if summary.profile:
+        parts.append(format_table(
+            ("phase", "seconds", "samples"),
+            [
+                (p["name"], f"{p['seconds']:.3f}", p["samples"])
+                for p in summary.profile
+            ],
+            title="Wall-clock by simulation phase",
+        ))
+    return "\n\n".join(parts)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> str:
+    return "\n\n\n".join(
+        _render_summary(summarize_trace(path)) for path in args.traces
+    )
+
+
+def _cmd_diff(args: argparse.Namespace) -> str:
+    summary_a = summarize_trace(args.trace_a)
+    summary_b = summarize_trace(args.trace_b)
+    rows = []
+    for delta in diff_summaries(summary_a, summary_b):
+        if delta.a == 0 and delta.b == 0:
+            continue
+        relative = (
+            "n/a" if delta.relative is None else f"{delta.relative:+.1%}"
+        )
+        rows.append((delta.name, f"{delta.a:g}", f"{delta.b:g}", relative))
+    title = (
+        f"A = {summary_a.path} ({summary_a.algorithm})\n"
+        f"B = {summary_b.path} ({summary_b.algorithm})"
+    )
+    return format_table(("metric", "A", "B", "B vs A"), rows, title=title)
+
+
+def _cmd_ports(args: argparse.Namespace) -> str:
+    summary = summarize_trace(args.trace)
+    per_port = summary.port_utilization()
+    if not per_port:
+        return "(no per-port data: trace has no counters record or grants)"
+    busiest = sorted(per_port.items(), key=lambda kv: -kv[1])
+    if args.top > 0:
+        busiest = busiest[: args.top]
+    busy = summary.port_busy_cycles()
+    rows = [
+        (
+            node,
+            output_port_name(output),
+            f"{busy.get((node, output), 0.0):.0f}",
+            f"{util:.1%}",
+        )
+        for (node, output), util in busiest
+    ]
+    return format_table(
+        ("node", "output", "busy cycles", "utilization"),
+        rows,
+        title=f"Busiest output ports of {summary.path}",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Summarize, diff and drill into repro telemetry traces.",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--output", type=Path, default=None, help="also write the report here"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize",
+        parents=[common],
+        help="one-screen digest of one or more traces",
+    )
+    summarize.add_argument("traces", nargs="+", type=Path)
+    summarize.set_defaults(func=_cmd_summarize)
+
+    diff = commands.add_parser(
+        "diff", parents=[common], help="compare two traces' aggregates"
+    )
+    diff.add_argument("trace_a", type=Path)
+    diff.add_argument("trace_b", type=Path)
+    diff.set_defaults(func=_cmd_diff)
+
+    ports = commands.add_parser(
+        "ports", parents=[common], help="per-port utilization table for one trace"
+    )
+    ports.add_argument("trace", type=Path)
+    ports.add_argument(
+        "--top", type=int, default=20,
+        help="show the N busiest (node, port) pairs; 0 = all (default 20)",
+    )
+    ports.set_defaults(func=_cmd_ports)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        text = args.func(args)
+        print(text)
+        if args.output is not None:
+            args.output.parent.mkdir(parents=True, exist_ok=True)
+            args.output.write_text(text + "\n")
+    except (OSError, ValueError) as error:
+        print(f"repro obs: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

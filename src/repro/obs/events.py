@@ -1,0 +1,153 @@
+"""Typed trace events and the trace schema version.
+
+Every record in a trace (see :mod:`repro.obs.sink`) is one JSON object
+with a ``kind`` discriminator.  The event classes here are the typed
+in-process form; ``to_record()`` flattens one to its wire dict.  The
+schema is versioned so ``repro obs`` can refuse (or adapt to) traces
+written by a different layout -- bump :data:`OBS_SCHEMA_VERSION`
+whenever a record's fields change meaning.
+
+Record kinds
+------------
+
+========== =====================================================
+kind       written by
+========== =====================================================
+manifest   trace header: config, seed, versions (one per trace)
+inject     a packet entered a local injection queue
+nominate   a read-port arbiter nominated a packet (events mode)
+grant      a packet won arbitration and left a router
+conflict   an arbitration left nominations unserved
+starve     anti-starvation draining engaged or released
+deliver    a packet sank at its destination
+counters   final metrics-registry snapshot (one per trace)
+profile    final phase-profiler summary (one per trace)
+run-end    trace footer: wall time, event count
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import ClassVar
+
+#: bump when any record layout changes incompatibly.
+OBS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class InjectionEvent:
+    """A packet entered a node's local injection queue."""
+
+    kind: ClassVar[str] = "inject"
+    time: float
+    node: int
+    packet: int
+    pclass: str
+    destination: int
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class NominationEvent:
+    """One read-port arbiter nominated a packet for outputs."""
+
+    kind: ClassVar[str] = "nominate"
+    time: float
+    node: int
+    row: int
+    packet: int
+    outputs: tuple[int, ...]
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        record["outputs"] = list(self.outputs)
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class GrantEvent:
+    """A packet won arbitration and is leaving through *output*."""
+
+    kind: ClassVar[str] = "grant"
+    time: float
+    node: int
+    row: int
+    packet: int
+    output: int
+    #: cycles the output port stays busy serving this packet
+    #: (pipeline tail + flit service); per-port utilization sums these.
+    busy_cycles: float
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class ConflictEvent:
+    """An arbitration pass left *count* live nominations unserved."""
+
+    kind: ClassVar[str] = "conflict"
+    time: float
+    node: int
+    algorithm: str
+    count: int
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class StarvationEvent:
+    """Anti-starvation draining engaged (or released) at a router."""
+
+    kind: ClassVar[str] = "starve"
+    time: float
+    node: int
+    old_count: int
+    engaged: bool
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryEvent:
+    """A packet sank at its destination's local port."""
+
+    kind: ClassVar[str] = "deliver"
+    time: float
+    node: int
+    packet: int
+    pclass: str
+    latency_cycles: float
+    hops: int
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+EVENT_TYPES = (
+    InjectionEvent,
+    NominationEvent,
+    GrantEvent,
+    ConflictEvent,
+    StarvationEvent,
+    DeliveryEvent,
+)
+
+#: kind string -> event class, for readers that want typed access.
+EVENT_KINDS: dict[str, type] = {cls.kind: cls for cls in EVENT_TYPES}

@@ -1,0 +1,120 @@
+"""Run manifests: enough context to reproduce (or trust) a trace.
+
+A manifest is the first record of every trace.  It pins down the four
+things a reader needs before believing any number in the file: the
+trace schema version, the exact simulation configuration (every knob,
+recursively serialized), the RNG seed, and the software that produced
+it (package version, Python, platform).  Wall-clock timing lands in
+the trailing ``run-end`` record instead, since it is only known at the
+end of the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import enum
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.events import OBS_SCHEMA_VERSION
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of config objects to JSON-able values.
+
+    Dataclasses recurse field by field, enums flatten to their names,
+    sets become sorted lists; anything else unhandled falls back to
+    ``repr`` so a manifest never fails to serialize.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(jsonable(k)): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (frozenset, set)):
+        items = [jsonable(v) for v in value]
+        try:
+            return sorted(items)
+        except TypeError:
+            return sorted(items, key=repr)
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+@dataclass
+class RunManifest:
+    """The header record of one telemetry trace."""
+
+    algorithm: str
+    seed: int
+    config: dict = field(default_factory=dict)
+    schema_version: int = OBS_SCHEMA_VERSION
+    package_version: str = ""
+    python: str = ""
+    platform: str = ""
+    created_at: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_config(cls, config: Any, **extra: Any) -> "RunManifest":
+        """Build from a :class:`repro.sim.config.SimulationConfig`.
+
+        Accepts anything with ``algorithm`` and ``seed`` attributes, so
+        the standalone model's config works too.
+        """
+        from repro import __version__
+
+        return cls(
+            algorithm=str(getattr(config, "algorithm", "unknown")),
+            seed=int(getattr(config, "seed", 0)),
+            config=jsonable(config),
+            package_version=__version__,
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            created_at=datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            extra={k: jsonable(v) for k, v in extra.items()},
+        )
+
+    def to_record(self) -> dict:
+        record = {
+            "kind": "manifest",
+            "schema_version": self.schema_version,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "package_version": self.package_version,
+            "python": self.python,
+            "platform": self.platform,
+            "created_at": self.created_at,
+            "config": self.config,
+        }
+        if self.extra:
+            record["extra"] = self.extra
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "RunManifest":
+        if record.get("kind") != "manifest":
+            raise ValueError("record is not a manifest")
+        return cls(
+            algorithm=record.get("algorithm", "unknown"),
+            seed=int(record.get("seed", 0)),
+            config=record.get("config", {}),
+            schema_version=int(record.get("schema_version", 0)),
+            package_version=record.get("package_version", ""),
+            python=record.get("python", ""),
+            platform=record.get("platform", ""),
+            created_at=record.get("created_at", ""),
+            extra=record.get("extra", {}),
+        )

@@ -1,0 +1,340 @@
+"""The telemetry facade the simulators and arbiters talk to.
+
+One :class:`Telemetry` object aggregates a metrics registry, a trace
+sink and a phase profiler behind the narrow set of hooks the hot paths
+call.  The design rule is *one branch when disabled*: every
+instrumented site reads ``self.telemetry`` (a plain attribute,
+defaulting to :data:`NULL_TELEMETRY`) and tests ``.enabled`` before
+doing any work, so a simulation without telemetry pays an attribute
+load and a predictable branch -- nothing else.
+
+Within an enabled Telemetry there are still two tiers:
+
+* **counters** always run -- a dict hit plus a float add per site;
+* **events** (per-packet trace records) only run when the sink is
+  real (``sink.active``), because serializing every grant of a
+  multi-million-event run is only worth it when someone asked for the
+  trace.
+
+The same Telemetry instance is shared by every router of a simulation,
+so counters are network-wide totals; per-node series carry the node as
+a label.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.events import (
+    ConflictEvent,
+    DeliveryEvent,
+    GrantEvent,
+    InjectionEvent,
+    NominationEvent,
+    StarvationEvent,
+)
+from repro.obs.manifest import RunManifest
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.registry import MetricsRegistry, MetricSeries
+from repro.obs.sink import NullSink, TraceSink
+
+#: packet-latency histogram bounds, in core cycles (powers of two keep
+#: saturated-run tails visible without a per-run calibration pass).
+LATENCY_BOUNDS_CYCLES = tuple(float(2**e) for e in range(5, 17))
+
+
+class Telemetry:
+    """Live telemetry: counters + optional trace events + profiler."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: TraceSink | None = None,
+        profile: bool = False,
+    ) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        #: per-packet trace records only flow into a real sink.
+        self.events = self.sink.active
+        self.profiling = profile
+        self.profiler = PhaseProfiler(enabled=profile)
+        self.registry = MetricsRegistry()
+        self.manifest: RunManifest | None = None
+        self._finalized = False
+
+        registry = self.registry
+        self._nominated = registry.counter(
+            "arb_nominations_total",
+            "nominations presented to the arbitration algorithm",
+            ("algorithm",),
+        )
+        self._granted = registry.counter(
+            "arb_grants_total",
+            "nominations granted by the arbitration algorithm",
+            ("algorithm",),
+        )
+        self._conflicted = registry.counter(
+            "arb_conflicts_total",
+            "live nominations left unserved by an arbitration pass "
+            "(the paper's arbitration collisions)",
+            ("algorithm",),
+        )
+        self._injections = registry.counter(
+            "sim_injections_total", "packets entering local injection queues"
+        )
+        self._deliveries = registry.counter(
+            "sim_deliveries_total", "packets sunk at their destination"
+        )
+        self._latency = registry.histogram(
+            "sim_delivery_latency_cycles",
+            "injection-to-delivery packet latency",
+            bounds=LATENCY_BOUNDS_CYCLES,
+        )
+        self._starvations = registry.counter(
+            "router_starvation_engagements_total",
+            "anti-starvation draining-mode engagements",
+        )
+        self._speculation_drops = registry.counter(
+            "router_speculation_drops_total",
+            "nominations whose outputs went stale between launch and "
+            "resolve (SPAA's speculation window)",
+        )
+        self._port_busy = registry.counter(
+            "router_port_busy_cycles_total",
+            "cycles each output port spent serving granted packets",
+            ("node", "output"),
+        )
+        self._port_grants = registry.counter(
+            "router_port_grants_total",
+            "grants through each output port",
+            ("node", "output"),
+        )
+        #: bound-series caches so hot sites never re-resolve labels.
+        self._algo_series: dict[str, tuple[MetricSeries, ...]] = {}
+        self._port_series: dict[tuple[int, int], tuple[MetricSeries, MetricSeries]] = {}
+        self._extra_series: dict[tuple[str, str], MetricSeries] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def open_run(self, config: Any, **extra: Any) -> None:
+        """Write the manifest header for one run."""
+        self.manifest = RunManifest.from_config(config, **extra)
+        self._started = time.perf_counter()
+        if self.sink.active:
+            self.sink.emit(self.manifest.to_record())
+
+    def finalize(self, **footer: Any) -> None:
+        """Write counters/profile/footer records and close the sink.
+
+        Idempotent: the timing model finalizes at the end of
+        :meth:`~repro.sim.timing_model.NetworkSimulator.run`, and
+        callers that also finalize explicitly are harmless.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        if self.sink.active:
+            self.sink.emit({"kind": "counters", "counters": self.registry.snapshot()})
+            if self.profiling:
+                self.sink.emit(self.profiler.to_record())
+            record = {"kind": "run-end"}
+            if self.manifest is not None:
+                record["wall_time_s"] = time.perf_counter() - self._started
+            record.update(footer)
+            self.sink.emit(record)
+        self.sink.close()
+
+    # -- arbiter-level hooks ---------------------------------------------
+
+    def on_arbitration(
+        self, algorithm: str, nominated: int, granted: int, conflicts: int
+    ) -> None:
+        """One arbitration pass of *algorithm* (called by the arbiters)."""
+        series = self._algo_series.get(algorithm)
+        if series is None:
+            series = (
+                self._nominated.labels(algorithm),
+                self._granted.labels(algorithm),
+                self._conflicted.labels(algorithm),
+            )
+            self._algo_series[algorithm] = series
+        series[0].inc(nominated)
+        series[1].inc(granted)
+        series[2].inc(conflicts)
+
+    def count_algo(self, name: str, algorithm: str, amount: float = 1.0) -> None:
+        """Increment an algorithm-specific counter (e.g. PIM wasted grants)."""
+        key = (name, algorithm)
+        series = self._extra_series.get(key)
+        if series is None:
+            series = self.registry.counter(name, label_names=("algorithm",)).labels(
+                algorithm
+            )
+            self._extra_series[key] = series
+        series.inc(amount)
+
+    # -- router-level hooks ----------------------------------------------
+
+    def on_nomination(
+        self, now: float, node: int, row: int, packet: int, outputs: tuple[int, ...]
+    ) -> None:
+        if self.events:
+            self.sink.emit(
+                NominationEvent(now, node, row, packet, outputs).to_record()
+            )
+
+    def on_dispatch(
+        self,
+        now: float,
+        node: int,
+        row: int,
+        packet: int,
+        output: int,
+        busy_cycles: float,
+    ) -> None:
+        """A grant took effect: output *output* is busy *busy_cycles*."""
+        ports = self._port_series.get((node, output))
+        if ports is None:
+            ports = (
+                self._port_busy.labels(node, output),
+                self._port_grants.labels(node, output),
+            )
+            self._port_series[(node, output)] = ports
+        ports[0].inc(busy_cycles)
+        ports[1].inc()
+        if self.events:
+            self.sink.emit(
+                GrantEvent(now, node, row, packet, output, busy_cycles).to_record()
+            )
+
+    def on_conflicts(self, now: float, node: int, algorithm: str, count: int) -> None:
+        if self.events:
+            self.sink.emit(ConflictEvent(now, node, algorithm, count).to_record())
+
+    def on_speculation_drops(self, count: int) -> None:
+        self._speculation_drops.inc(count)
+
+    def on_starvation(
+        self, now: float, node: int, old_count: int, engaged: bool
+    ) -> None:
+        if engaged:
+            self._starvations.inc()
+        if self.events:
+            self.sink.emit(
+                StarvationEvent(now, node, old_count, engaged).to_record()
+            )
+
+    # -- simulator-level hooks -------------------------------------------
+
+    def on_injection(
+        self, now: float, node: int, packet: int, pclass: str, destination: int
+    ) -> None:
+        self._injections.inc()
+        if self.events:
+            self.sink.emit(
+                InjectionEvent(now, node, packet, pclass, destination).to_record()
+            )
+
+    def on_delivery(
+        self,
+        now: float,
+        node: int,
+        packet: int,
+        pclass: str,
+        latency_cycles: float,
+        hops: int,
+    ) -> None:
+        self._deliveries.inc()
+        self._latency.observe(latency_cycles)
+        if self.events:
+            self.sink.emit(
+                DeliveryEvent(
+                    now, node, packet, pclass, latency_cycles, hops
+                ).to_record()
+            )
+
+    # -- summaries --------------------------------------------------------
+
+    def arbitration_summary(self) -> dict[str, dict[str, int]]:
+        """Per-algorithm nomination/grant/conflict totals."""
+        summary: dict[str, dict[str, int]] = {}
+        for algorithm, (nominated, granted, conflicted) in sorted(
+            self._algo_series.items()
+        ):
+            summary[algorithm] = {
+                "nominations": int(nominated.value),
+                "grants": int(granted.value),
+                "conflicts": int(conflicted.value),
+            }
+        return summary
+
+    def port_busy_cycles(self) -> dict[tuple[int, int], float]:
+        """(node, output) -> cycles the port spent busy."""
+        return {
+            key: series[0].value for key, series in self._port_series.items()
+        }
+
+
+class _NullTelemetry:
+    """The shared disabled singleton: every hook is a no-op.
+
+    Instrumented sites check ``.enabled`` and skip the call entirely,
+    but the no-op methods keep stray calls harmless (e.g. code written
+    against the facade without the guard).
+    """
+
+    enabled = False
+    events = False
+    profiling = False
+    sink = NullSink()
+    manifest = None
+
+    def __init__(self) -> None:
+        self.profiler = PhaseProfiler(enabled=False)
+
+    def __bool__(self) -> bool:
+        return False
+
+    def open_run(self, config: Any, **extra: Any) -> None:
+        pass
+
+    def finalize(self, **footer: Any) -> None:
+        pass
+
+    def on_arbitration(self, *args: Any) -> None:
+        pass
+
+    def count_algo(self, *args: Any) -> None:
+        pass
+
+    def on_nomination(self, *args: Any) -> None:
+        pass
+
+    def on_dispatch(self, *args: Any) -> None:
+        pass
+
+    def on_conflicts(self, *args: Any) -> None:
+        pass
+
+    def on_speculation_drops(self, *args: Any) -> None:
+        pass
+
+    def on_starvation(self, *args: Any) -> None:
+        pass
+
+    def on_injection(self, *args: Any) -> None:
+        pass
+
+    def on_delivery(self, *args: Any) -> None:
+        pass
+
+    def arbitration_summary(self) -> dict:
+        return {}
+
+    def port_busy_cycles(self) -> dict:
+        return {}
+
+
+#: the module-wide disabled telemetry; hot paths default to this.
+NULL_TELEMETRY = _NullTelemetry()

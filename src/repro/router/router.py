@@ -43,6 +43,7 @@ from repro.network.routing import (
     escape_vc_after_hop,
 )
 from repro.network.topology import Direction, Torus2D
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.router.buffers import InputBuffer
 from repro.router.connection_matrix import ConnectionMatrix
 from repro.router.ports import (
@@ -93,6 +94,9 @@ class Dispatch:
 
 class Router:
     """One 21364 router inside the timing model."""
+
+    #: observability hook; the simulator swaps in a live Telemetry.
+    telemetry = NULL_TELEMETRY
 
     def __init__(
         self,
@@ -196,6 +200,10 @@ class Router:
                 port_nominations += 1
         if not nominations:
             return None
+        tel = self.telemetry
+        if tel.events:
+            for nom in nominations:
+                tel.on_nomination(now, self.node, nom.row, nom.packet, nom.outputs)
         return Launch(time=now, nominations=nominations, plans=plans)
 
     def _pick_for_row(
@@ -352,6 +360,7 @@ class Router:
     def resolve(self, now: float, launch: Launch) -> list[Dispatch]:
         """Run the arbitration algorithm and apply its grants."""
         live: list[Nomination] = []
+        speculation_drops = 0
         for nom in launch.nominations:
             outputs = tuple(
                 out
@@ -372,11 +381,17 @@ class Router:
                     )
                 live.append(nom)
             else:
+                speculation_drops += 1
                 self._in_flight.discard(nom.packet)
+        tel = self.telemetry
+        if tel.enabled and speculation_drops:
+            # The launch's output(s) were taken between nominate and
+            # resolve -- the pipelined speculation window in action.
+            tel.on_speculation_drops(speculation_drops)
         if not live:
             return []
 
-        live = self.antistarvation.classify(live)
+        live = self.antistarvation.classify(live, now)
         free_outputs = frozenset(
             out
             for out in range(NUM_OUTPUT_PORTS)
@@ -387,6 +402,10 @@ class Router:
         for nom in live:
             if (nom.row, nom.packet) not in granted:
                 self._in_flight.discard(nom.packet)
+        if tel.events and len(grants) < len(live):
+            tel.on_conflicts(
+                now, self.node, self.arbiter.name, len(live) - len(grants)
+            )
         return [self._apply_grant(grant, launch, now) for grant in grants]
 
     def upstream_node(self, port: InputPort) -> int:
@@ -425,6 +444,16 @@ class Router:
         self.output_busy_until[int(plan.output)] = (
             now + self.output_tail_cycles + service
         )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.on_dispatch(
+                now,
+                self.node,
+                grant.row,
+                packet.uid,
+                int(plan.output),
+                self.output_tail_cycles + service,
+            )
         return Dispatch(
             packet=packet, plan=plan, grant_time=now, service_cycles=service
         )

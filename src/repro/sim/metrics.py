@@ -75,10 +75,12 @@ class ReservoirSampler:
 
     Keeps percentile queries cheap on multi-hundred-thousand-packet
     runs without storing every latency.  Deterministic given the seed,
-    like everything else in the simulator.
+    like everything else in the simulator.  The sorted view is cached
+    between queries and invalidated on :meth:`add`, so reading many
+    percentiles off a settled sample sorts once instead of per call.
     """
 
-    __slots__ = ("capacity", "count", "_values", "_rng")
+    __slots__ = ("capacity", "count", "_values", "_rng", "_sorted")
 
     def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
         if capacity < 1:
@@ -87,15 +89,18 @@ class ReservoirSampler:
         self.count = 0
         self._values: list[float] = []
         self._rng = random.Random(seed)
+        self._sorted: list[float] | None = None
 
     def add(self, value: float) -> None:
         self.count += 1
         if len(self._values) < self.capacity:
             self._values.append(value)
+            self._sorted = None
             return
         index = self._rng.randrange(self.count)
         if index < self.capacity:
             self._values[index] = value
+            self._sorted = None
 
     def percentile(self, q: float) -> float:
         """The q-quantile (0 <= q <= 1) of the sampled distribution."""
@@ -103,7 +108,9 @@ class ReservoirSampler:
             raise ValueError("q must be within [0, 1]")
         if not self._values:
             return math.nan
-        ordered = sorted(self._values)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._values)
         position = q * (len(ordered) - 1)
         low = int(position)
         high = min(low + 1, len(ordered) - 1)
@@ -161,6 +168,10 @@ class BNFPoint:
     latency_ns: float
     transaction_latency_ns: float = math.nan
     packets_delivered: int = 0
+    #: optional per-algorithm arbiter counters for this point (from
+    #: repro.obs telemetry); excluded from equality so instrumented and
+    #: plain runs of the same config compare equal.
+    counters: dict | None = field(default=None, compare=False)
 
     def as_row(self) -> tuple[float, float, float]:
         return (self.offered_rate, self.throughput, self.latency_ns)

@@ -107,13 +107,23 @@ class ThroughputTimeline(Observer):
 
 
 class BufferOccupancyProbe(Observer):
-    """Total buffered packets, sampled on every dispatch burst.
+    """Total buffered packets, sampled on a fixed cycle cadence.
 
     Cheap enough to leave on: it samples at most once per
     ``min_interval_cycles`` regardless of event rate.
+
+    Sampling is driven by a self-rescheduling timer (plus a cheap
+    opportunistic sample on dispatch), not by dispatches alone: a
+    saturated, clogged network can go whole intervals without any
+    dispatch, which is exactly when the occupancy curve matters --
+    dispatch-only sampling went blind at the top of the tree-saturation
+    spike.  When the attached simulator cannot schedule events (bare
+    test doubles), the probe degrades to dispatch-driven sampling.
     """
 
     def __init__(self, min_interval_cycles: float = 250.0) -> None:
+        if min_interval_cycles <= 0:
+            raise ValueError("min_interval_cycles must be positive")
         self.min_interval_cycles = min_interval_cycles
         self.samples: list[tuple[float, int]] = []
         self._next_sample = 0.0
@@ -121,6 +131,18 @@ class BufferOccupancyProbe(Observer):
 
     def on_attach(self, simulator) -> None:
         self._simulator = simulator
+        if hasattr(simulator, "schedule_after"):
+            simulator.schedule_after(self.min_interval_cycles, self._tick)
+
+    def _tick(self) -> None:
+        simulator = self._simulator
+        now = simulator.now
+        if now >= self._next_sample:
+            self.samples.append((now, simulator.total_buffered_packets()))
+            self._next_sample = now + self.min_interval_cycles
+        window_end = getattr(simulator, "window_end_cycles", None)
+        if window_end is None or now < window_end:
+            simulator.schedule_after(self.min_interval_cycles, self._tick)
 
     def on_dispatch(self, simulator, router, dispatch) -> None:
         now = simulator.now

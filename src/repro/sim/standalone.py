@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.registry import ArbiterContext, make_arbiter, nomination_style
 from repro.core.types import Nomination, SourceKind
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.router.connection_matrix import DEFAULT_CONNECTION_MATRIX, ConnectionMatrix
 from repro.router.ports import (
     InputPort,
@@ -94,10 +95,17 @@ class StandaloneConfig:
 
 
 class StandaloneRouterModel:
-    """Measures an algorithm's matches/cycle on random router states."""
+    """Measures an algorithm's matches/cycle on random router states.
 
-    def __init__(self, config: StandaloneConfig) -> None:
+    Pass a :class:`repro.obs.telemetry.Telemetry` to have the arbiter
+    under test report nomination/grant/conflict counters per trial.
+    """
+
+    def __init__(
+        self, config: StandaloneConfig, telemetry: Telemetry | None = None
+    ) -> None:
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._rng = random.Random(config.seed)
         self._arbiter = make_arbiter(
             config.algorithm,
@@ -108,12 +116,17 @@ class StandaloneRouterModel:
                 rng=self._rng,
             ),
         )
+        if self.telemetry.enabled:
+            self._arbiter.telemetry = self.telemetry
         style = nomination_style(config.algorithm)
         self._uses_packet_pool = style == "pool"
         self._single_output = style == "single-output"
 
     def run(self) -> RunningStats:
         """Average matches per arbitration over the configured trials."""
+        tel = self.telemetry
+        if tel.enabled:
+            tel.open_run(self.config, model="standalone")
         stats = RunningStats()
         for _ in range(self.config.trials):
             packets = self._generate_packets()
@@ -121,6 +134,8 @@ class StandaloneRouterModel:
             nominations = self._build_nominations(packets, free_outputs)
             grants = self._arbiter.arbitrate(nominations, free_outputs)
             stats.add(float(len(grants)))
+        if tel.enabled:
+            tel.finalize(trials=self.config.trials, mean_matches=stats.mean)
         return stats
 
     # -- workload generation ------------------------------------------------

@@ -2,22 +2,73 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs.sink import JsonlSink
+from repro.obs.telemetry import Telemetry
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import BNFCurve
 from repro.sim.timing_model import NetworkSimulator
+
+
+def trace_filename(algorithm: str, rate: float) -> str:
+    """Canonical per-point trace name, e.g. ``SPAA-base_rate0.01.jsonl``."""
+    return f"{algorithm}_rate{rate:g}.jsonl"
+
+
+def _point_telemetry(
+    algorithm: str,
+    rate: float,
+    telemetry_dir: Path | str | None,
+    collect_counters: bool,
+) -> Telemetry | None:
+    if telemetry_dir is not None:
+        path = Path(telemetry_dir) / trace_filename(algorithm, rate)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return Telemetry(sink=JsonlSink(path))
+    if collect_counters:
+        return Telemetry()
+    return None
 
 
 def sweep_algorithm(
     config: SimulationConfig,
     rates: Sequence[float],
     progress: Callable[[str], None] | None = None,
+    telemetry_dir: Path | str | None = None,
+    collect_counters: bool = False,
+    observer_factory: Callable[[str, float], Sequence] | None = None,
 ) -> BNFCurve:
-    """Run one algorithm over a set of offered loads."""
+    """Run one algorithm over a set of offered loads.
+
+    Args:
+        config: base configuration; the rate is filled in per point.
+        rates: offered loads to sweep.
+        progress: optional per-point status callback.
+        telemetry_dir: when set, each point writes a JSONL telemetry
+            trace (``<algorithm>_rate<rate>.jsonl``) into this
+            directory, readable with ``repro obs summarize``, and the
+            returned points carry their arbiter counters.
+        collect_counters: attach sink-less telemetry so every
+            :class:`~repro.sim.metrics.BNFPoint` carries its
+            per-algorithm nomination/grant/conflict counters without
+            writing trace files.  Implied by *telemetry_dir*.
+        observer_factory: called as ``factory(algorithm, rate)`` before
+            each point; the returned observers (see
+            :mod:`repro.sim.observers`) are attached to that point's
+            simulator.
+    """
     curve = BNFCurve(label=config.algorithm)
     for rate in rates:
-        point = NetworkSimulator(config.with_rate(rate)).bnf_point()
+        telemetry = _point_telemetry(
+            config.algorithm, rate, telemetry_dir, collect_counters
+        )
+        simulator = NetworkSimulator(config.with_rate(rate), telemetry=telemetry)
+        if observer_factory is not None:
+            for observer in observer_factory(config.algorithm, rate):
+                simulator.attach_observer(observer)
+        point = simulator.bnf_point()
         curve.add(point)
         if progress is not None:
             progress(
@@ -33,11 +84,17 @@ def sweep_algorithms(
     algorithms: Sequence[str],
     rates: Sequence[float],
     progress: Callable[[str], None] | None = None,
+    telemetry_dir: Path | str | None = None,
+    collect_counters: bool = False,
 ) -> dict[str, BNFCurve]:
     """Run several algorithms over the same loads (one Figure 10 panel)."""
     return {
         algorithm: sweep_algorithm(
-            config.with_algorithm(algorithm), rates, progress
+            config.with_algorithm(algorithm),
+            rates,
+            progress,
+            telemetry_dir=telemetry_dir,
+            collect_counters=collect_counters,
         )
         for algorithm in algorithms
     }

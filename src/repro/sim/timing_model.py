@@ -33,6 +33,7 @@ from repro.core.registry import ArbiterContext, algorithm_timing, make_arbiter
 from repro.network.channels import entry_channel
 from repro.network.packets import Packet
 from repro.network.topology import Torus2D
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.router.ports import (
     InputPort,
     LOCAL_INPUTS,
@@ -47,10 +48,19 @@ from repro.sim.traffic import PoissonInjector, make_pattern
 
 
 class NetworkSimulator:
-    """One timing-model run: build with a config, call :meth:`run`."""
+    """One timing-model run: build with a config, call :meth:`run`.
 
-    def __init__(self, config: SimulationConfig) -> None:
+    Pass a :class:`repro.obs.telemetry.Telemetry` to collect arbiter
+    counters, per-port utilization and (with a real sink) a JSONL
+    event trace; the default :data:`~repro.obs.telemetry.NULL_TELEMETRY`
+    keeps every instrumented site down to one branch.
+    """
+
+    def __init__(
+        self, config: SimulationConfig, telemetry: Telemetry | None = None
+    ) -> None:
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         network = config.network
         self.topology = Torus2D(network.width, network.height)
         self.clocks = network.effective_clocks
@@ -107,6 +117,17 @@ class NetworkSimulator:
         #: instrumentation hooks (see repro.sim.observers); empty by
         #: default so the hot path pays a single truthiness check.
         self._observers: list = []
+        if self.telemetry.enabled:
+            self._wire_telemetry()
+
+    def _wire_telemetry(self) -> None:
+        """Hand the shared Telemetry to every instrumented component."""
+        telemetry = self.telemetry
+        for router in self.routers:
+            router.telemetry = telemetry
+            router.arbiter.telemetry = telemetry
+            router.antistarvation.telemetry = telemetry
+            router.antistarvation.node = router.node
 
     def _build_router(self, node: int, rng: random.Random) -> Router:
         context = ArbiterContext(
@@ -154,6 +175,15 @@ class NetworkSimulator:
             raise ValueError("local injection must use a local input port")
         if self._in_window(self.queue.now):
             self.stats.packets_injected += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.on_injection(
+                self.queue.now,
+                node,
+                packet.uid,
+                packet.pclass.label,
+                packet.destination,
+            )
         self._pending[(node, port)].append(packet)
         self._drain_pending(node, port)
 
@@ -161,6 +191,9 @@ class NetworkSimulator:
 
     def run(self) -> NetworkStats:
         """Simulate warmup + measurement and return the window's stats."""
+        tel = self.telemetry
+        if tel.enabled:
+            tel.open_run(self.config, model="timing")
         for node in range(self.topology.num_nodes):
             self.queue.schedule_at(
                 self._injector.next_interval(), partial(self._injection_attempt, node)
@@ -169,6 +202,11 @@ class NetworkSimulator:
         self.stats.window_ns = (
             self.config.measure_cycles * self.clocks.cycle_ns
         )
+        if tel.enabled:
+            tel.finalize(
+                packets_delivered=self.stats.packets_delivered,
+                flits_delivered=self.stats.flits_delivered,
+            )
         return self.stats
 
     def drain(self, max_extra_cycles: float = 1_000_000.0) -> None:
@@ -184,13 +222,24 @@ class NetworkSimulator:
     def bnf_point(self) -> BNFPoint:
         """Run and summarize as one Burton-Normal-Form point."""
         stats = self.run()
+        counters = (
+            self.telemetry.arbitration_summary()
+            if self.telemetry.enabled
+            else None
+        )
         return BNFPoint(
             offered_rate=self.config.traffic.injection_rate,
             throughput=stats.delivered_flits_per_router_ns(),
             latency_ns=stats.packet_latency_ns.mean,
             transaction_latency_ns=stats.transaction_latency_ns.mean,
             packets_delivered=stats.packets_delivered,
+            counters=counters,
         )
+
+    @property
+    def window_end_cycles(self) -> float:
+        """End of the measurement window (warmup + measure cycles)."""
+        return self._window_end
 
     def _in_window(self, time: float) -> bool:
         return self._window_start <= time < self._window_end
@@ -245,12 +294,16 @@ class NetworkSimulator:
             router.launch_scheduled_at = None
         if now < router.last_launch_time + self.timing.initiation_interval:
             return  # a stale attempt inside the initiation window
+        tel = self.telemetry
+        began = tel.profiler.begin() if tel.profiling else 0.0
         launch = router.nominate(
             now,
             now,  # readiness: the output must be free *now* (no hiding)
             self.timing.fanout,
             self.timing.nominations_per_port,
         )
+        if tel.profiling:
+            tel.profiler.add("arbitration", began)
         if launch is None:
             return
         router.last_launch_time = now
@@ -263,7 +316,11 @@ class NetworkSimulator:
 
     def _resolve(self, router: Router, launch: Launch) -> None:
         now = self.queue.now
+        tel = self.telemetry
+        began = tel.profiler.begin() if tel.profiling else 0.0
         dispatches = router.resolve(now, launch)
+        if tel.profiling:
+            tel.profiler.add("arbitration", began)
         for dispatch in dispatches:
             self._apply_dispatch(router, dispatch)
         # Losers (and newly uncovered heads) can renominate immediately.
@@ -313,8 +370,12 @@ class NetworkSimulator:
             )
 
     def _arrive(self, router: Router, port: InputPort, channel, packet: Packet) -> None:
+        tel = self.telemetry
+        began = tel.profiler.begin() if tel.profiling else 0.0
         router.buffers[port].commit(packet, channel)
         packet.waiting_since = self.queue.now
+        if tel.profiling:
+            tel.profiler.add("traversal", began)
         self._request_launch(router)
 
     # -- delivery & statistics ------------------------------------------------------
@@ -324,6 +385,19 @@ class NetworkSimulator:
         if self._observers:
             for observer in self._observers:
                 observer.on_delivery(self, packet)
+        tel = self.telemetry
+        if tel.enabled:
+            began = tel.profiler.begin() if tel.profiling else 0.0
+            tel.on_delivery(
+                now,
+                packet.destination,
+                packet.uid,
+                packet.pclass.label,
+                now - packet.injected_at,
+                packet.hops,
+            )
+            if tel.profiling:
+                tel.profiler.add("delivery", began)
         if self._in_window(now):
             self.stats.packets_delivered += 1
             self.stats.flits_delivered += packet.flits

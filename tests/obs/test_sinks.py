@@ -1,0 +1,137 @@
+"""Tests for trace sinks, events, the run manifest and the profiler."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    GrantEvent,
+    InjectionEvent,
+    OBS_SCHEMA_VERSION,
+)
+from repro.obs.manifest import RunManifest, jsonable
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.sink import JsonlSink, MemorySink, NullSink, read_jsonl
+from repro.sim.config import SimulationConfig
+
+
+class TestEvents:
+    def test_records_carry_their_kind(self):
+        record = InjectionEvent(1.0, 2, 7, "request", 3).to_record()
+        assert record["kind"] == "inject"
+        assert record["node"] == 2
+        assert record["packet"] == 7
+
+    def test_grant_event_round_trip_via_json(self):
+        record = GrantEvent(10.0, 1, 4, 99, 2, 6.5).to_record()
+        assert json.loads(json.dumps(record)) == record
+
+    def test_event_kinds_table_is_consistent(self):
+        for kind, cls in EVENT_KINDS.items():
+            assert cls.kind == kind
+
+
+class TestSinks:
+    def test_null_sink_is_inactive(self):
+        sink = NullSink()
+        assert sink.active is False
+        sink.emit({"kind": "x"})  # swallowed, no error
+
+    def test_memory_sink_collects_and_filters(self):
+        sink = MemorySink()
+        sink.emit({"kind": "a", "v": 1})
+        sink.emit({"kind": "b"})
+        assert sink.by_kind("a") == [{"kind": "a", "v": 1}]
+        sink.close()
+        sink.emit({"kind": "late"})
+        assert len(sink.records) == 2
+
+    def test_jsonl_sink_writes_one_record_per_line(self, tmp_path):
+        path = tmp_path / "sub" / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"kind": "a", "v": 1})
+            sink.emit({"kind": "b"})
+        assert sink.records_written == 2
+        assert [r["kind"] for r in read_jsonl(path)] == ["a", "b"]
+
+    def test_jsonl_sink_is_lazy(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_emits_after_close_are_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"kind": "a"})
+        sink.close()
+        sink.emit({"kind": "late"})
+        assert [r["kind"] for r in read_jsonl(path)] == ["a"]
+
+    def test_read_jsonl_reports_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            list(read_jsonl(path))
+
+
+class TestManifest:
+    def test_jsonable_handles_the_config_tree(self):
+        config = SimulationConfig(algorithm="SPAA", seed=7)
+        tree = jsonable(config)
+        assert tree["algorithm"] == "SPAA"
+        assert tree["seed"] == 7
+        # round-trips through real JSON
+        assert json.loads(json.dumps(tree)) == tree
+
+    def test_jsonable_fallback_and_collections(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert jsonable({1, 3, 2}) == [1, 2, 3]
+        assert jsonable((1, "a")) == [1, "a"]
+        assert jsonable({"k": Opaque()}) == {"k": "<opaque>"}
+
+    def test_from_config_and_record_round_trip(self):
+        config = SimulationConfig(algorithm="WFA-rotary", seed=11)
+        manifest = RunManifest.from_config(config, model="timing")
+        assert manifest.schema_version == OBS_SCHEMA_VERSION
+        assert manifest.algorithm == "WFA-rotary"
+        assert manifest.package_version
+        record = manifest.to_record()
+        assert record["kind"] == "manifest"
+        parsed = RunManifest.from_record(json.loads(json.dumps(record)))
+        assert parsed.algorithm == manifest.algorithm
+        assert parsed.seed == 11
+        assert parsed.extra == {"model": "timing"}
+
+    def test_from_record_rejects_other_kinds(self):
+        with pytest.raises(ValueError):
+            RunManifest.from_record({"kind": "counters"})
+
+
+class TestProfiler:
+    def test_disabled_profiler_is_inert(self):
+        profiler = PhaseProfiler(enabled=False)
+        began = profiler.begin()
+        profiler.add("arbitration", began)
+        assert profiler.summaries() == []
+
+    def test_enabled_profiler_accumulates(self):
+        profiler = PhaseProfiler(enabled=True)
+        for _ in range(3):
+            began = profiler.begin()
+            profiler.add("arbitration", began)
+        began = profiler.begin()
+        profiler.add("delivery", began)
+        summaries = {s.name: s for s in profiler.summaries()}
+        assert summaries["arbitration"].samples == 3
+        assert summaries["delivery"].samples == 1
+        assert summaries["arbitration"].seconds >= 0.0
+        record = profiler.to_record()
+        assert record["kind"] == "profile"
+        assert {p["name"] for p in record["phases"]} == {
+            "arbitration", "delivery",
+        }

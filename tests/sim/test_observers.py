@@ -173,3 +173,99 @@ class TestIntegration:
         observed_sim = NetworkSimulator(config)
         observed_sim.attach_observer(ThroughputTimeline(100.0))
         assert observed_sim.bnf_point() == plain
+
+    def test_observers_through_a_real_sweep(self):
+        """All three observers ride a sweep via observer_factory."""
+        from repro.sim.sweep import sweep_algorithm
+
+        config = SimulationConfig(
+            network=NetworkConfig(width=2, height=2),
+            traffic=TrafficConfig(injection_rate=0.01),
+            warmup_cycles=200,
+            measure_cycles=1_000,
+            seed=3,
+        )
+        per_point: dict[float, tuple] = {}
+
+        def factory(algorithm, rate):
+            observers = (
+                ThroughputTimeline(window_cycles=200.0),
+                BufferOccupancyProbe(100.0),
+                PacketTracer(sample_every=3),
+            )
+            per_point[rate] = observers
+            return observers
+
+        curve = sweep_algorithm(
+            config, [0.005, 0.01], observer_factory=factory
+        )
+        assert len(curve.points) == 2
+        assert set(per_point) == {0.005, 0.01}
+        for timeline, probe, tracer in per_point.values():
+            assert sum(timeline.windows) > 0
+            assert probe.samples
+            assert tracer.completed()
+
+
+class TestSaturatedNetwork:
+    """Section 3.4: the clog/clear oscillation and its observability."""
+
+    def saturated_config(self, measure_cycles=9_000):
+        from repro.sim.config import saturation_buffer_plan
+
+        return SimulationConfig(
+            algorithm="SPAA-base",
+            network=NetworkConfig(
+                width=4, height=4, buffer_plan=saturation_buffer_plan()
+            ),
+            traffic=TrafficConfig(injection_rate=0.1),
+            warmup_cycles=3_000,
+            measure_cycles=measure_cycles,
+            seed=42,
+        )
+
+    def test_dominant_period_on_saturated_rotary_off_run(self):
+        """A saturated SPAA-base run shows a discernible throughput cycle."""
+        config = self.saturated_config()
+        simulator = NetworkSimulator(config)
+        timeline = ThroughputTimeline(window_cycles=500.0)
+        simulator.attach_observer(timeline)
+        simulator.run()
+        skip = int(config.warmup_cycles // 500.0)
+        assert timeline.oscillation(skip) > 0.02
+        period = timeline.dominant_period(skip)
+        assert period is not None
+        assert 2 <= period <= 20
+
+    def test_probe_keeps_sampling_when_network_clogs(self):
+        """Cycle-driven sampling covers the run even through clogs.
+
+        The old dispatch-driven probe stopped sampling whenever the
+        network stopped dispatching -- exactly the clogged intervals
+        the occupancy series exists to show.
+        """
+        config = self.saturated_config(measure_cycles=5_000)
+        simulator = NetworkSimulator(config)
+        probe = BufferOccupancyProbe(min_interval_cycles=250.0)
+        simulator.attach_observer(probe)
+        simulator.run()
+        total_cycles = config.warmup_cycles + config.measure_cycles
+        expected = total_cycles / probe.min_interval_cycles
+        # Timer-driven ticks guarantee near-complete coverage.
+        assert len(probe.samples) >= expected * 0.8
+        # Samples keep a steady cadence: no gap much larger than the
+        # interval (the dispatch-driven version had unbounded gaps).
+        times = [t for t, _ in probe.samples]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert max(gaps) <= probe.min_interval_cycles * 2.5
+        assert probe.peak() > 0
+
+    def test_probe_timer_stops_at_window_end(self):
+        config = self.saturated_config(measure_cycles=2_000)
+        simulator = NetworkSimulator(config)
+        probe = BufferOccupancyProbe(min_interval_cycles=500.0)
+        simulator.attach_observer(probe)
+        simulator.run()
+        assert all(
+            t <= simulator.window_end_cycles for t, _ in probe.samples
+        )

@@ -6,7 +6,6 @@ traffic generation, coherence flows, routing, escape channels, flow
 control, arbitration pipelines and statistics.
 """
 
-import math
 
 import pytest
 
