@@ -76,6 +76,10 @@ class CoherenceEngine:
         self._rng = rng
         self.mshrs = [MSHRFile(mshr_limit) for _ in range(num_nodes)]
         self._live: dict[int, Transaction] = {}
+        #: transactions abandoned because a carrying packet was dropped
+        #: (fault injection); their MSHRs are released so the node can
+        #: keep issuing misses.
+        self.transactions_aborted = 0
         #: hooks the simulator fills in for statistics
         self.on_transaction_complete = lambda transaction: None
 
@@ -233,3 +237,22 @@ class CoherenceEngine:
         del self._live[transaction.tid]
         self.mshrs[transaction.requester].release()
         self.on_transaction_complete(transaction)
+
+    # -- packet loss ----------------------------------------------------
+
+    def on_packet_dropped(self, packet: Packet) -> None:
+        """Abort the owning transaction when a carrying packet is lost.
+
+        The real 21364 link protocol never loses packets (retries are
+        unbounded), so there is no recovery flow to model; under
+        injected faults with bounded retries the transaction simply
+        cannot complete, and holding its MSHR forever would wedge the
+        requester.  Release it and count the abort instead.
+        """
+        if packet.transaction is None:
+            return
+        transaction = self._live.pop(packet.transaction, None)
+        if transaction is None:
+            return
+        self.mshrs[transaction.requester].release()
+        self.transactions_aborted += 1

@@ -21,6 +21,44 @@ import time
 from pathlib import Path
 
 from repro.experiments import claims, figure8, figure9, figure10, figure11
+from repro.resilience import (
+    InvariantConfig,
+    WatchdogConfig,
+    parse_fault_spec,
+)
+from repro.sim.sweep import SweepGuard
+
+
+def _sweep_guard(args: argparse.Namespace) -> SweepGuard | None:
+    """Build the resilience bundle for fig10/fig11 from the CLI flags."""
+    wanted = (
+        args.faults
+        or args.invariants
+        or args.watchdog is not None
+        or args.journal_dir is not None
+        or args.resume
+        or args.max_attempts > 1
+    )
+    if not wanted:
+        return None
+    if args.resume and args.journal_dir is None:
+        raise SystemExit("--resume requires --journal-dir")
+    try:
+        faults = parse_fault_spec(args.faults) if args.faults else None
+    except ValueError as error:
+        raise SystemExit(f"bad --faults spec: {error}") from error
+    return SweepGuard(
+        faults=faults,
+        invariants=InvariantConfig() if args.invariants else None,
+        watchdog=(
+            WatchdogConfig(window_cycles=args.watchdog)
+            if args.watchdog is not None
+            else None
+        ),
+        journal_path=args.journal_dir,
+        resume=args.resume,
+        max_attempts=args.max_attempts,
+    )
 
 
 def _run_fig8(args: argparse.Namespace) -> str:
@@ -42,6 +80,7 @@ def _run_fig10(args: argparse.Namespace) -> str:
         panels=panels,
         progress=_progress(args),
         telemetry_dir=args.telemetry_dir,
+        guard=_sweep_guard(args),
     )
     return figure10.format_figure10(result)
 
@@ -57,6 +96,7 @@ def _run_fig11(args: argparse.Namespace) -> str:
         panels=panels,
         progress=_progress(args),
         telemetry_dir=args.telemetry_dir,
+        guard=_sweep_guard(args),
     )
     return figure11.format_figure11(result)
 
@@ -124,6 +164,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSONL telemetry trace per fig10/fig11 BNF point "
              "into this directory (inspect with 'repro-experiments obs')",
+    )
+    resilience = parser.add_argument_group(
+        "resilience (fig10/fig11)",
+        "fault injection, runtime checking and checkpointed sweeps; "
+        "see docs/resilience.md",
+    )
+    resilience.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject faults into every sweep point; comma-separated "
+             "key=value spec, e.g. 'drop=1e-3,corrupt=5e-4,seed=7' "
+             "(keys: drop, corrupt, suppress, misroute, stall-node, "
+             "stall-start, stall-cycles, seed, max-retries, backoff)",
+    )
+    resilience.add_argument(
+        "--invariants",
+        action="store_true",
+        help="run the runtime invariant checker (packet conservation, "
+             "duplicate ids, buffer credits, age bound) in every point; "
+             "any violation fails the point",
+    )
+    resilience.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        metavar="CYCLES",
+        help="attach a progress watchdog: no delivery for CYCLES cycles "
+             "with work outstanding records a structured stall diagnostic",
+    )
+    resilience.add_argument(
+        "--journal-dir",
+        type=Path,
+        default=None,
+        help="checkpoint every completed sweep point into per-panel "
+             "JSONL journals under this directory",
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip sweep points already completed in the journal "
+             "(requires --journal-dir)",
+    )
+    resilience.add_argument(
+        "--max-attempts",
+        type=int,
+        default=1,
+        help="tries per sweep point before giving up; retries bump the "
+             "simulation and fault seeds (default 1)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"

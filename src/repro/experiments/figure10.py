@@ -31,7 +31,11 @@ from repro.sim.config import (
     saturation_buffer_plan,
 )
 from repro.sim.metrics import BNFCurve
-from repro.sim.sweep import sweep_algorithms, throughput_gain_at_latency
+from repro.sim.sweep import (
+    SweepGuard,
+    sweep_algorithms,
+    throughput_gain_at_latency,
+)
 
 
 @dataclass(frozen=True)
@@ -136,18 +140,30 @@ def run_panel(
     seed: int = 42,
     progress=None,
     telemetry_dir=None,
+    guard: SweepGuard | None = None,
 ) -> dict[str, BNFCurve]:
     """Sweep one Figure 10 panel.
 
     With *telemetry_dir* set, every BNF point writes a JSONL telemetry
     trace under ``<telemetry_dir>/<panel-slug>/`` and carries its
-    arbiter counters (see :mod:`repro.obs`).
+    arbiter counters (see :mod:`repro.obs`).  With a *guard* (see
+    :class:`repro.sim.sweep.SweepGuard`) every point runs with fault
+    injection / invariant checking / watchdog / checkpointing attached;
+    the journal is scoped per panel.
     """
     config = panel_config(panel, preset, seed)
     if telemetry_dir is not None:
         telemetry_dir = Path(telemetry_dir) / panel_slug(panel.name)
+    guard_kwargs = (
+        guard.scoped(panel_slug(panel.name)).sweep_kwargs() if guard else {}
+    )
     return sweep_algorithms(
-        config, algorithms, panel.rates, progress, telemetry_dir=telemetry_dir
+        config,
+        algorithms,
+        panel.rates,
+        progress,
+        telemetry_dir=telemetry_dir,
+        **guard_kwargs,
     )
 
 
@@ -163,6 +179,7 @@ def run_figure10(
     seed: int = 42,
     progress=None,
     telemetry_dir=None,
+    guard: SweepGuard | None = None,
 ) -> Figure10Result:
     """Regenerate every panel of Figure 10."""
     result = Figure10Result(preset=preset)
@@ -170,7 +187,7 @@ def run_figure10(
         if progress is not None:
             progress(f"--- {panel.name} ---")
         result.panels[panel.name] = run_panel(
-            panel, preset, algorithms, seed, progress, telemetry_dir
+            panel, preset, algorithms, seed, progress, telemetry_dir, guard
         )
     return result
 

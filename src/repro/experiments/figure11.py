@@ -25,7 +25,11 @@ from repro.sim.config import (
     saturation_buffer_plan,
 )
 from repro.sim.metrics import BNFCurve
-from repro.sim.sweep import sweep_algorithms, throughput_gain_at_latency
+from repro.sim.sweep import (
+    SweepGuard,
+    sweep_algorithms,
+    throughput_gain_at_latency,
+)
 
 SCALING_ALGORITHMS = ("PIM1", "WFA-rotary", "SPAA-rotary")
 
@@ -115,12 +119,22 @@ def run_panel(
     seed: int = 42,
     progress=None,
     telemetry_dir=None,
+    guard: SweepGuard | None = None,
 ) -> dict[str, BNFCurve]:
+    """Sweep one Figure 11 panel, optionally guarded (see SweepGuard)."""
     config = panel_config(panel, preset, seed)
     if telemetry_dir is not None:
         telemetry_dir = Path(telemetry_dir) / f"fig11{panel.key}"
+    guard_kwargs = (
+        guard.scoped(f"fig11{panel.key}").sweep_kwargs() if guard else {}
+    )
     return sweep_algorithms(
-        config, algorithms, panel.rates, progress, telemetry_dir=telemetry_dir
+        config,
+        algorithms,
+        panel.rates,
+        progress,
+        telemetry_dir=telemetry_dir,
+        **guard_kwargs,
     )
 
 
@@ -131,6 +145,7 @@ def run_figure11(
     seed: int = 42,
     progress=None,
     telemetry_dir=None,
+    guard: SweepGuard | None = None,
 ) -> Figure11Result:
     result = Figure11Result(preset=preset)
     for panel in panels:
@@ -138,7 +153,7 @@ def run_figure11(
             progress(f"--- Figure 11{panel.key}: {panel.name} ---")
         result.panel_specs[panel.name] = panel
         result.panels[panel.name] = run_panel(
-            panel, preset, algorithms, seed, progress, telemetry_dir
+            panel, preset, algorithms, seed, progress, telemetry_dir, guard
         )
     return result
 

@@ -82,5 +82,42 @@ class LinkSpec:
         return self.pin_to_pin_cycles + link_cycles
 
 
+@dataclass(frozen=True, slots=True)
+class LinkRetrySpec:
+    """Link-level retransmission policy (bounded retries + backoff).
+
+    The 21364's inter-chip links carry per-flit ECC and a link-level
+    retry protocol: a flit that arrives corrupted (or not at all) is
+    retransmitted rather than lost.  We model the recovery path as a
+    bounded number of retransmissions with exponential backoff in core
+    cycles; a packet that exhausts its retries is dropped with a
+    recorded reason (see :mod:`repro.resilience.faults`).
+
+    Attributes:
+        max_retries: retransmission attempts before the packet is
+            declared lost.
+        backoff_base_cycles: pause before the first retransmission, in
+            core cycles.
+        backoff_factor: multiplier applied per successive retry.
+    """
+
+    max_retries: int = 8
+    backoff_base_cycles: float = 4.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff_base_cycles < 0:
+            raise ValueError("backoff_base_cycles cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1 (no shrinking waits)")
+
+    def backoff_cycles(self, attempt: int) -> float:
+        """Core cycles to wait before retransmission *attempt* (0-based)."""
+        return self.backoff_base_cycles * self.backoff_factor**attempt
+
+
 DEFAULT_CLOCKS = ClockSpec()
 DEFAULT_LINK = LinkSpec()
+DEFAULT_LINK_RETRY = LinkRetrySpec()

@@ -28,6 +28,9 @@ class TraceSummary:
     profile: list[dict] = field(default_factory=list)
     event_counts: dict[str, int] = field(default_factory=dict)
     wall_time_s: float | None = None
+    #: structured stall snapshots from ``watchdog`` events (capped; the
+    #: event count in :attr:`event_counts` is still exact).
+    watchdog_diagnostics: list[dict] = field(default_factory=list)
     #: (node, output) -> busy cycles, accumulated from grant events as
     #: a fallback when the trace lacks a counters record (truncated
     #: runs); the counters record wins when present.
@@ -109,6 +112,34 @@ class TraceSummary:
             count += value.get("count", 0)
         return total / count if count else None
 
+    def resilience_counts(self) -> dict[str, int]:
+        """Nonzero resilience totals (faults, retries, drops, checks).
+
+        Prefers the counters record; for truncated traces that lack
+        one, falls back to counting the corresponding event records
+        (an undercount for ``grant_faults``, whose events are batched).
+        """
+        out: dict[str, int] = {}
+        for name, metric, event_kind in (
+            ("link_faults", "resilience_link_faults_total", "link-fault"),
+            ("link_retries", "resilience_link_retries_total", None),
+            ("grant_faults", "resilience_grant_faults_total", "grant-fault"),
+            ("packets_dropped", "resilience_drops_total", "drop"),
+            (
+                "invariant_violations",
+                "resilience_invariant_violations_total",
+                "invariant",
+            ),
+            ("watchdog_fires", "resilience_watchdog_fires_total", "watchdog"),
+            ("drain_warnings", "resilience_drain_warnings_total", "drain-warn"),
+        ):
+            value = self.scalar(metric)
+            if not value and event_kind is not None:
+                value = float(self.event_counts.get(event_kind, 0))
+            if value:
+                out[name] = int(value)
+        return out
+
     def _series(self, metric: str):
         snap = self.counters.get(metric)
         if not snap:
@@ -137,6 +168,10 @@ def summarize_trace(path: str | Path, strict_schema: bool = True) -> TraceSummar
             summary.wall_time_s = record.get("wall_time_s")
         else:
             summary.event_counts[kind] = summary.event_counts.get(kind, 0) + 1
+            if kind == "watchdog" and len(summary.watchdog_diagnostics) < 8:
+                summary.watchdog_diagnostics.append(
+                    record.get("diagnostic", {})
+                )
             if kind == "grant":
                 key = (int(record["node"]), int(record["output"]))
                 summary._event_port_busy[key] = (
@@ -205,6 +240,19 @@ def diff_summaries(a: TraceSummary, b: TraceSummary) -> list[MetricDelta]:
         "router_speculation_drops_total",
     ):
         deltas.append(MetricDelta(metric, a.scalar(metric), b.scalar(metric)))
+    for metric in (
+        "resilience_link_faults_total",
+        "resilience_link_retries_total",
+        "resilience_grant_faults_total",
+        "resilience_drops_total",
+        "resilience_invariant_violations_total",
+        "resilience_watchdog_fires_total",
+        "resilience_drain_warnings_total",
+    ):
+        # Only fault-injected runs carry these; keep clean diffs clean.
+        value_a, value_b = a.scalar(metric), b.scalar(metric)
+        if value_a or value_b:
+            deltas.append(MetricDelta(metric, value_a, value_b))
     latency_a, latency_b = a.mean_latency_cycles(), b.mean_latency_cycles()
     if latency_a is not None or latency_b is not None:
         deltas.append(

@@ -87,6 +87,38 @@ def _render_summary(summary: TraceSummary) -> str:
     if scalars:
         parts.append(format_table(("metric", "value"), scalars, title="Totals"))
 
+    resilience = summary.resilience_counts()
+    if resilience:
+        parts.append(format_table(
+            ("metric", "count"),
+            [(name.replace("_", " "), count) for name, count in resilience.items()],
+            title="Resilience (fault injection / runtime checks)",
+        ))
+
+    if summary.watchdog_diagnostics:
+        diag = summary.watchdog_diagnostics[-1]
+        rows = [
+            ("cycle", f"{diag.get('time', 0.0):.1f}"),
+            ("window (cycles)", f"{diag.get('window_cycles', 0.0):.0f}"),
+            ("delivered so far", diag.get("delivered_total", 0)),
+            ("outstanding", diag.get("outstanding", 0)),
+            ("buffered / pending / in transit",
+             f"{diag.get('buffered', 0)} / {diag.get('pending', 0)} / "
+             f"{diag.get('in_transit', 0)}"),
+        ]
+        for entry in diag.get("routers", ())[:5]:
+            ports = ", ".join(
+                f"{port}={count}" for port, count in entry.get("ports", {}).items()
+            )
+            draining = " (draining)" if entry.get("draining") else ""
+            rows.append((f"node {entry.get('node')}{draining}", ports))
+        parts.append(format_table(
+            ("field", "value"),
+            rows,
+            title=f"Watchdog stall snapshot (last of "
+                  f"{summary.event_counts.get('watchdog', 0)} fires)",
+        ))
+
     by_output = summary.utilization_by_output()
     if by_output:
         parts.append(format_table(

@@ -10,20 +10,26 @@ whenever a record's fields change meaning.
 Record kinds
 ------------
 
-========== =====================================================
-kind       written by
-========== =====================================================
-manifest   trace header: config, seed, versions (one per trace)
-inject     a packet entered a local injection queue
-nominate   a read-port arbiter nominated a packet (events mode)
-grant      a packet won arbitration and left a router
-conflict   an arbitration left nominations unserved
-starve     anti-starvation draining engaged or released
-deliver    a packet sank at its destination
-counters   final metrics-registry snapshot (one per trace)
-profile    final phase-profiler summary (one per trace)
-run-end    trace footer: wall time, event count
-========== =====================================================
+=========== =====================================================
+kind        written by
+=========== =====================================================
+manifest    trace header: config, seed, versions (one per trace)
+inject      a packet entered a local injection queue
+nominate    a read-port arbiter nominated a packet (events mode)
+grant       a packet won arbitration and left a router
+conflict    an arbitration left nominations unserved
+starve      anti-starvation draining engaged or released
+deliver     a packet sank at its destination
+link-fault  a link traversal lost/corrupted a flit (fault injection)
+grant-fault an arbiter grant was suppressed/mis-routed/stalled
+drop        a packet was dropped, with its reason (retries exhausted)
+invariant   a runtime invariant check failed
+watchdog    the progress watchdog fired; carries the stall snapshot
+drain-warn  a post-run drain exhausted its budget with packets left
+counters    final metrics-registry snapshot (one per trace)
+profile     final phase-profiler summary (one per trace)
+run-end     trace footer: wall time, event count
+=========== =====================================================
 """
 
 from __future__ import annotations
@@ -140,6 +146,104 @@ class DeliveryEvent:
         return record
 
 
+@dataclass(frozen=True, slots=True)
+class LinkFaultEvent:
+    """A packet's link traversal faulted (injected drop/corruption).
+
+    ``attempt`` counts retransmissions already consumed; the link
+    retry protocol resends until its bound, then the packet drops
+    (see :class:`PacketDropEvent`).
+    """
+
+    kind: ClassVar[str] = "link-fault"
+    time: float
+    node: int
+    packet: int
+    fault: str
+    attempt: int
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class GrantFaultEvent:
+    """Injected grant faults at one router (suppress/misroute/stall)."""
+
+    kind: ClassVar[str] = "grant-fault"
+    time: float
+    node: int
+    fault: str
+    count: int
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class PacketDropEvent:
+    """A packet left the accounting as dropped, with its reason."""
+
+    kind: ClassVar[str] = "drop"
+    time: float
+    node: int
+    packet: int
+    pclass: str
+    reason: str
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantViolationEvent:
+    """A runtime invariant check failed (see repro.resilience)."""
+
+    kind: ClassVar[str] = "invariant"
+    time: float
+    name: str
+    detail: str
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class WatchdogEvent:
+    """The progress watchdog fired; carries the full stall snapshot."""
+
+    kind: ClassVar[str] = "watchdog"
+    time: float
+    diagnostic: dict
+
+    def to_record(self) -> dict:
+        return {"kind": self.kind, "time": self.time, "diagnostic": self.diagnostic}
+
+
+@dataclass(frozen=True, slots=True)
+class DrainWarningEvent:
+    """A post-run drain ran out of budget with packets unaccounted."""
+
+    kind: ClassVar[str] = "drain-warn"
+    time: float
+    buffered: int
+    pending: int
+    in_transit: int
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
 EVENT_TYPES = (
     InjectionEvent,
     NominationEvent,
@@ -147,6 +251,12 @@ EVENT_TYPES = (
     ConflictEvent,
     StarvationEvent,
     DeliveryEvent,
+    LinkFaultEvent,
+    GrantFaultEvent,
+    PacketDropEvent,
+    InvariantViolationEvent,
+    WatchdogEvent,
+    DrainWarningEvent,
 )
 
 #: kind string -> event class, for readers that want typed access.

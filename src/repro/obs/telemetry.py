@@ -29,10 +29,16 @@ from typing import Any
 from repro.obs.events import (
     ConflictEvent,
     DeliveryEvent,
+    DrainWarningEvent,
     GrantEvent,
+    GrantFaultEvent,
     InjectionEvent,
+    InvariantViolationEvent,
+    LinkFaultEvent,
     NominationEvent,
+    PacketDropEvent,
     StarvationEvent,
+    WatchdogEvent,
 )
 from repro.obs.manifest import RunManifest
 from repro.obs.profiler import PhaseProfiler
@@ -109,6 +115,38 @@ class Telemetry:
             "router_port_grants_total",
             "grants through each output port",
             ("node", "output"),
+        )
+        self._link_faults = registry.counter(
+            "resilience_link_faults_total",
+            "injected link faults (lost or corrupted flits), by kind",
+            ("fault",),
+        )
+        self._link_retries = registry.counter(
+            "resilience_link_retries_total",
+            "link-level retransmissions triggered by injected faults",
+        )
+        self._grant_faults = registry.counter(
+            "resilience_grant_faults_total",
+            "injected grant faults (suppressed, mis-routed, stalled)",
+            ("fault",),
+        )
+        self._drops = registry.counter(
+            "resilience_drops_total",
+            "packets dropped with a recorded reason",
+            ("reason",),
+        )
+        self._invariant_violations = registry.counter(
+            "resilience_invariant_violations_total",
+            "runtime invariant check failures",
+            ("invariant",),
+        )
+        self._watchdog_fires = registry.counter(
+            "resilience_watchdog_fires_total",
+            "progress-watchdog stall detections",
+        )
+        self._drain_warnings = registry.counter(
+            "resilience_drain_warnings_total",
+            "drains that exhausted their budget with packets left",
         )
         #: bound-series caches so hot sites never re-resolve labels.
         self._algo_series: dict[str, tuple[MetricSeries, ...]] = {}
@@ -254,6 +292,56 @@ class Telemetry:
                 ).to_record()
             )
 
+    # -- resilience hooks --------------------------------------------------
+
+    def on_link_fault(
+        self, now: float, node: int, packet: int, fault: str, attempt: int
+    ) -> None:
+        """An injected link fault hit *packet* arriving at *node*."""
+        self._link_faults.labels(fault).inc()
+        if self.events:
+            self.sink.emit(
+                LinkFaultEvent(now, node, packet, fault, attempt).to_record()
+            )
+
+    def on_link_retry(self) -> None:
+        self._link_retries.inc()
+
+    def on_grant_fault(self, now: float, node: int, fault: str, count: int) -> None:
+        """Injected grant faults at one router's arbitration pass."""
+        self._grant_faults.labels(fault).inc(count)
+        if self.events:
+            self.sink.emit(GrantFaultEvent(now, node, fault, count).to_record())
+
+    def on_drop(
+        self, now: float, node: int, packet: int, pclass: str, reason: str
+    ) -> None:
+        """A packet was dropped with a recorded reason."""
+        self._drops.labels(reason).inc()
+        if self.events:
+            self.sink.emit(
+                PacketDropEvent(now, node, packet, pclass, reason).to_record()
+            )
+
+    def on_invariant_violation(self, now: float, name: str, detail: str) -> None:
+        self._invariant_violations.labels(name).inc()
+        if self.events:
+            self.sink.emit(InvariantViolationEvent(now, name, detail).to_record())
+
+    def on_watchdog(self, now: float, diagnostic: dict) -> None:
+        self._watchdog_fires.inc()
+        if self.events:
+            self.sink.emit(WatchdogEvent(now, diagnostic).to_record())
+
+    def on_drain_exhausted(
+        self, now: float, buffered: int, pending: int, in_transit: int
+    ) -> None:
+        self._drain_warnings.inc()
+        if self.events:
+            self.sink.emit(
+                DrainWarningEvent(now, buffered, pending, in_transit).to_record()
+            )
+
     # -- summaries --------------------------------------------------------
 
     def arbitration_summary(self) -> dict[str, dict[str, int]]:
@@ -327,6 +415,27 @@ class _NullTelemetry:
         pass
 
     def on_delivery(self, *args: Any) -> None:
+        pass
+
+    def on_link_fault(self, *args: Any) -> None:
+        pass
+
+    def on_link_retry(self, *args: Any) -> None:
+        pass
+
+    def on_grant_fault(self, *args: Any) -> None:
+        pass
+
+    def on_drop(self, *args: Any) -> None:
+        pass
+
+    def on_invariant_violation(self, *args: Any) -> None:
+        pass
+
+    def on_watchdog(self, *args: Any) -> None:
+        pass
+
+    def on_drain_exhausted(self, *args: Any) -> None:
         pass
 
     def arbitration_summary(self) -> dict:

@@ -1,0 +1,64 @@
+"""Resilience layer: fault injection, invariants, watchdog, checkpoints.
+
+The paper's central claim -- SPAA matches PIM1/WFA while the Rotary
+Rule prevents post-saturation collapse -- is only credible if the
+simulator provably conserves packets and makes forward progress deep
+into saturation, exactly the regime where silent bugs hide.  This
+package makes the reproduction hard to break and loud when it does:
+
+* :mod:`repro.resilience.faults` -- a seeded, config-driven
+  :class:`FaultInjector` that drops/corrupts flits on links (recovered
+  by the 21364-style link retry protocol), suppresses or mis-routes
+  individual arbiter grants, and stalls a router for N cycles;
+* :mod:`repro.resilience.invariants` -- an :class:`InvariantChecker`
+  that continuously asserts packet conservation, duplicate-free
+  in-flight ids, buffer-credit sanity and the anti-starvation age
+  bound, plus :class:`ArbitrationInvariants` for the standalone model;
+* :mod:`repro.resilience.watchdog` -- a :class:`ProgressWatchdog` that
+  detects deadlock/livelock and emits a structured per-port occupancy
+  diagnostic instead of hanging;
+* :mod:`repro.resilience.checkpoint` -- a :class:`SweepJournal` that
+  persists completed BNF points so long sweeps survive crashes and can
+  resume a partial curve.
+"""
+
+from repro.resilience.checkpoint import SweepJournal, rate_key
+from repro.resilience.faults import (
+    REASON_LINK_RETRIES_EXHAUSTED,
+    FaultConfig,
+    FaultInjector,
+    parse_fault_spec,
+    permanent_stall,
+)
+from repro.resilience.invariants import (
+    ArbitrationInvariants,
+    InvariantChecker,
+    InvariantConfig,
+    InvariantViolation,
+    InvariantViolationError,
+    ResilienceReport,
+)
+from repro.resilience.watchdog import (
+    DeadlockError,
+    ProgressWatchdog,
+    WatchdogConfig,
+)
+
+__all__ = [
+    "ArbitrationInvariants",
+    "DeadlockError",
+    "FaultConfig",
+    "FaultInjector",
+    "InvariantChecker",
+    "InvariantConfig",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "ProgressWatchdog",
+    "REASON_LINK_RETRIES_EXHAUSTED",
+    "ResilienceReport",
+    "SweepJournal",
+    "WatchdogConfig",
+    "parse_fault_spec",
+    "permanent_stall",
+    "rate_key",
+]

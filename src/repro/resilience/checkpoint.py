@@ -1,0 +1,141 @@
+"""Checkpoint/resume for load sweeps: a JSONL journal of BNF points.
+
+A paper-preset Figure 10/11 sweep is hours of compute spread over
+hundreds of points; a crash at point 180 should not cost the first
+179.  :class:`SweepJournal` appends one self-contained JSON record per
+completed (or failed) point, fsync-free but line-atomic, so
+``sweep_algorithm(..., journal=...)`` can
+
+* **checkpoint** -- record each point the moment it finishes;
+* **resume** -- skip points whose latest journal record is a success,
+  reconstructing the :class:`~repro.sim.metrics.BNFPoint` verbatim;
+* **retry** -- record failures (with the attempt count and error) so
+  a rerun knows which points are flaky and the operator can see why.
+
+Rates are keyed by ``repr(float(rate))`` -- the shortest round-trip
+representation -- so ``0.3`` and the float-artifact
+``0.30000000000000004`` are distinct points, exactly like the trace
+filenames of :mod:`repro.sim.sweep`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.sim.metrics import BNFPoint
+
+
+def rate_key(rate: float) -> str:
+    """Canonical journal key for an offered rate (exact round-trip)."""
+    return repr(float(rate))
+
+
+class SweepJournal:
+    """Append-only JSONL journal of sweep points, keyed (algorithm, rate)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        #: (algorithm, rate_key) -> latest record; later lines win, so
+        #: a retried point's success supersedes its earlier failures.
+        self._latest: dict[tuple[str, str], dict] = {}
+        self._loaded = False
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self) -> None:
+        """(Re)read the journal from disk; a missing file is empty."""
+        self._latest.clear()
+        self._loaded = True
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ValueError(
+                        f"{self.path}:{line_number}: corrupt journal line "
+                        f"({error})"
+                    ) from error
+                key = (record.get("algorithm", ""), record.get("rate_key", ""))
+                self._latest[key] = record
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    def record_for(self, algorithm: str, rate: float) -> dict | None:
+        self._ensure_loaded()
+        return self._latest.get((algorithm, rate_key(rate)))
+
+    def completed_point(self, algorithm: str, rate: float) -> BNFPoint | None:
+        """The journalled point, if its latest record is a success."""
+        record = self.record_for(algorithm, rate)
+        if record is None or record.get("status") != "ok":
+            return None
+        return BNFPoint.from_dict(record["point"])
+
+    def completed_count(self) -> int:
+        self._ensure_loaded()
+        return sum(
+            1 for record in self._latest.values() if record.get("status") == "ok"
+        )
+
+    def failures(self) -> list[dict]:
+        """Points whose latest record is a failure (newest state only)."""
+        self._ensure_loaded()
+        return [
+            record
+            for record in self._latest.values()
+            if record.get("status") == "failed"
+        ]
+
+    # -- writing ---------------------------------------------------------
+
+    def record_success(
+        self,
+        algorithm: str,
+        rate: float,
+        point: BNFPoint,
+        attempts: int = 1,
+        resilience: dict | None = None,
+    ) -> None:
+        record = {
+            "kind": "sweep-point",
+            "status": "ok",
+            "algorithm": algorithm,
+            "rate": rate,
+            "rate_key": rate_key(rate),
+            "attempts": attempts,
+            "point": point.as_dict(),
+        }
+        if resilience:
+            record["resilience"] = resilience
+        self._append(record)
+
+    def record_failure(
+        self, algorithm: str, rate: float, attempt: int, error: BaseException | str
+    ) -> None:
+        self._append({
+            "kind": "sweep-point",
+            "status": "failed",
+            "algorithm": algorithm,
+            "rate": rate,
+            "rate_key": rate_key(rate),
+            "attempt": attempt,
+            "error": f"{type(error).__name__}: {error}"
+            if isinstance(error, BaseException)
+            else str(error),
+        })
+
+    def _append(self, record: dict) -> None:
+        self._ensure_loaded()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+        self._latest[(record["algorithm"], record["rate_key"])] = record

@@ -1,0 +1,258 @@
+"""Runtime invariant checking for the simulators.
+
+:class:`InvariantChecker` attaches to a
+:class:`~repro.sim.timing_model.NetworkSimulator` and re-verifies, on a
+configurable cycle cadence plus once at the end of the run, the
+properties the paper's conclusions silently depend on:
+
+* **packet conservation** -- every packet ever injected is delivered,
+  dropped with a recorded reason, or still accounted for (buffered in
+  a router, waiting in an injection queue, in transit on a link, or
+  sinking at a local port).  Nothing silently vanishes, nothing is
+  double-counted;
+* **no duplicate in-flight ids** -- a packet uid occupies at most one
+  buffer slot network-wide (virtual cut-through: the whole packet
+  lives in one place);
+* **buffer-credit sanity** -- per virtual channel, occupancy and
+  outstanding reservations are non-negative and never exceed the
+  partition's capacity (credit flow control cannot go negative);
+* **anti-starvation age bound** -- no buffered packet has waited at
+  one router longer than the configured bound, which the two-color
+  draining scheme is supposed to guarantee.
+
+Violations are recorded (and emitted as telemetry events when a sink
+is attached); with ``fail_fast`` they raise
+:class:`InvariantViolationError` at the offending cycle, which is the
+mode the test suite and CI smoke jobs run in.
+
+:class:`ArbitrationInvariants` is the standalone-model counterpart: a
+per-trial matching validator around
+:func:`repro.core.types.validate_matching`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import Grant, Nomination, validate_matching
+
+
+@dataclass(frozen=True)
+class InvariantConfig:
+    """Cadence and strictness of the runtime checks.
+
+    Attributes:
+        check_interval_cycles: cycles between periodic sweeps; the
+            final check at the end of the run always happens.
+        max_wait_cycles: anti-starvation bound -- the longest a packet
+            may wait at a single router.  None disables the age check
+            (e.g. for runs with anti-starvation ablated).
+        fail_fast: raise :class:`InvariantViolationError` at the first
+            violation instead of collecting them.
+    """
+
+    check_interval_cycles: float = 1_000.0
+    max_wait_cycles: float | None = 200_000.0
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.check_interval_cycles <= 0:
+            raise ValueError("check_interval_cycles must be positive")
+        if self.max_wait_cycles is not None and self.max_wait_cycles <= 0:
+            raise ValueError("max_wait_cycles must be positive (or None)")
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantViolation:
+    """One detected violation: when, which invariant, and the evidence."""
+
+    time: float
+    name: str
+    detail: str
+
+
+class InvariantViolationError(AssertionError):
+    """Raised in ``fail_fast`` mode (or by :meth:`raise_if_violated`)."""
+
+    def __init__(self, violations: list[InvariantViolation]) -> None:
+        self.violations = violations
+        lines = [f"{len(violations)} invariant violation(s):"]
+        lines += [
+            f"  cycle {v.time:.1f} [{v.name}] {v.detail}" for v in violations[:10]
+        ]
+        if len(violations) > 10:
+            lines.append(f"  ... and {len(violations) - 10} more")
+        super().__init__("\n".join(lines))
+
+
+class InvariantChecker:
+    """Continuous verification of a network simulation's bookkeeping.
+
+    Attach with ``NetworkSimulator(config, invariants=checker)`` (or
+    pass an :class:`InvariantConfig`); the simulator schedules the
+    periodic sweeps and the end-of-run check itself.
+    """
+
+    def __init__(self, config: InvariantConfig | None = None) -> None:
+        self.config = config or InvariantConfig()
+        self.violations: list[InvariantViolation] = []
+        self.checks_run = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def raise_if_violated(self) -> None:
+        if self.violations:
+            raise InvariantViolationError(self.violations)
+
+    # -- the checks ------------------------------------------------------
+
+    def check_network(self, sim) -> list[InvariantViolation]:
+        """Run every invariant against *sim*'s current state.
+
+        Called between events, where the simulator's accounting is
+        guaranteed consistent.  Returns the violations found by this
+        sweep (also appended to :attr:`violations`).
+        """
+        self.checks_run += 1
+        found: list[InvariantViolation] = []
+        now = sim.now
+        self._check_conservation(sim, now, found)
+        self._check_buffers(sim, now, found)
+        if found:
+            self.violations.extend(found)
+            tel = sim.telemetry
+            if tel.enabled:
+                for violation in found:
+                    tel.on_invariant_violation(
+                        violation.time, violation.name, violation.detail
+                    )
+            if self.config.fail_fast:
+                raise InvariantViolationError(found)
+        return found
+
+    def _check_conservation(self, sim, now: float, found: list) -> None:
+        buffered = sim.total_buffered_packets()
+        pending = sim.total_pending_injections()
+        accounted = (
+            sim.total_delivered
+            + sim.total_dropped
+            + buffered
+            + pending
+            + sim.packets_in_transit
+            + sim.packets_sinking
+        )
+        if accounted != sim.total_injected:
+            found.append(InvariantViolation(
+                now,
+                "packet-conservation",
+                f"injected={sim.total_injected} != accounted={accounted} "
+                f"(delivered={sim.total_delivered} dropped={sim.total_dropped} "
+                f"buffered={buffered} pending={pending} "
+                f"in_transit={sim.packets_in_transit} "
+                f"sinking={sim.packets_sinking})",
+            ))
+
+    def _check_buffers(self, sim, now: float, found: list) -> None:
+        """Duplicate uids, credit sanity and the age bound in one walk."""
+        seen: dict[int, tuple[int, object]] = {}
+        max_wait = self.config.max_wait_cycles
+        for router in sim.routers:
+            for port, buffer in router.buffers.items():
+                for channel in buffer.channels_with_waiting():
+                    for packet in buffer.packets(channel):
+                        prior = seen.get(packet.uid)
+                        if prior is not None:
+                            found.append(InvariantViolation(
+                                now,
+                                "duplicate-in-flight",
+                                f"packet #{packet.uid} buffered at node "
+                                f"{router.node}/{port.name} and at node "
+                                f"{prior[0]}/{prior[1]}",
+                            ))
+                        else:
+                            seen[packet.uid] = (router.node, port.name)
+                        if max_wait is not None:
+                            wait = now - packet.waiting_since
+                            if wait > max_wait:
+                                found.append(InvariantViolation(
+                                    now,
+                                    "anti-starvation-age",
+                                    f"packet #{packet.uid} has waited "
+                                    f"{wait:.0f} cycles at node "
+                                    f"{router.node}/{port.name} "
+                                    f"(bound {max_wait:.0f})",
+                                ))
+                for channel, occupancy, reserved in buffer.credit_state():
+                    capacity = buffer.capacity(channel)
+                    if reserved < 0 or occupancy + reserved > capacity:
+                        found.append(InvariantViolation(
+                            now,
+                            "buffer-credit",
+                            f"node {router.node}/{port.name} {channel}: "
+                            f"occupancy={occupancy} reserved={reserved} "
+                            f"capacity={capacity}",
+                        ))
+
+
+class ArbitrationInvariants:
+    """Per-trial matching validation for the standalone model.
+
+    Wraps :func:`repro.core.types.validate_matching` into the same
+    record-or-raise shape as :class:`InvariantChecker`, so the
+    standalone model (Figures 8/9) can assert every trial's grants form
+    a legal matching -- unique rows/packets/outputs, nominated
+    combinations only, free outputs only, group capacities respected.
+    """
+
+    def __init__(self, fail_fast: bool = True) -> None:
+        self.fail_fast = fail_fast
+        self.violations: list[InvariantViolation] = []
+        self.checks_run = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def check_arbitration(
+        self,
+        nominations: list[Nomination],
+        free_outputs: frozenset[int],
+        grants: list[Grant],
+        trial: int = 0,
+    ) -> None:
+        self.checks_run += 1
+        try:
+            validate_matching(nominations, grants, free_outputs)
+        except ValueError as error:
+            violation = InvariantViolation(
+                float(trial), "arbitration-matching", str(error)
+            )
+            self.violations.append(violation)
+            if self.fail_fast:
+                raise InvariantViolationError([violation]) from error
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregate outcome of a guarded run (sweeps attach one per point)."""
+
+    invariant_violations: int = 0
+    watchdog_fires: int = 0
+    faults_injected: int = 0
+    packets_dropped: int = 0
+    link_retries: int = 0
+    attempts: int = 1
+    resumed: bool = False
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilienceReport":
+        report = cls()
+        for key, value in data.items():
+            if hasattr(report, key):
+                setattr(report, key, value)
+        return report

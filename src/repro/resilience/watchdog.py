@@ -1,0 +1,135 @@
+"""Deadlock/livelock detection with structured diagnostics.
+
+A deadlocked network does not crash an event-driven simulator -- it
+just stops delivering while injection events keep the queue warm, and
+a post-run :meth:`~repro.sim.timing_model.NetworkSimulator.drain`
+grinds to its cycle horizon with nothing to show.  The
+:class:`ProgressWatchdog` turns that silent failure mode into a loud,
+inspectable one: on a configurable cycle cadence it asks "did any
+packet sink since the last tick, and is there work outstanding?"; when
+the answer is no-progress-but-work-waiting it records a structured
+diagnostic -- per-router, per-port occupancy plus the global
+accounting counters -- and (optionally) raises :class:`DeadlockError`
+to abort the run.  With telemetry attached the diagnostic is also
+written to the trace as a ``watchdog`` event, so ``repro obs
+summarize`` can show where the packets piled up without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """When to declare a stall and what to do about it.
+
+    Attributes:
+        window_cycles: no delivery for this many cycles (while packets
+            are waiting somewhere) counts as a stall.
+        action: ``"record"`` collects diagnostics and lets the run
+            continue (the trace shows every stalled window);
+            ``"raise"`` aborts the run with :class:`DeadlockError` at
+            the first stall -- the mode batch sweeps use so a deadlock
+            costs one window, not a cycle horizon.
+        max_snapshots: cap on stored diagnostics (the trace still
+            records every fire).
+    """
+
+    window_cycles: float = 5_000.0
+    action: str = "record"
+    max_snapshots: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        if self.action not in ("record", "raise"):
+            raise ValueError('action must be "record" or "raise"')
+        if self.max_snapshots < 1:
+            raise ValueError("max_snapshots must be positive")
+
+
+class DeadlockError(RuntimeError):
+    """The watchdog saw no progress with work outstanding."""
+
+    def __init__(self, diagnostic: dict) -> None:
+        self.diagnostic = diagnostic
+        super().__init__(
+            f"no delivery for {diagnostic['window_cycles']:.0f} cycles at "
+            f"cycle {diagnostic['time']:.1f}: {diagnostic['buffered']} "
+            f"buffered, {diagnostic['pending']} pending injection, "
+            f"{diagnostic['in_transit']} in transit"
+        )
+
+
+class ProgressWatchdog:
+    """Attach with ``NetworkSimulator(config, watchdog=...)``.
+
+    The simulator drives :meth:`observe` on the configured cadence;
+    this class only decides and describes.
+    """
+
+    def __init__(self, config: WatchdogConfig | None = None) -> None:
+        self.config = config or WatchdogConfig()
+        self.fired = 0
+        self.diagnostics: list[dict] = []
+        self._last_delivered: int | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.fired == 0
+
+    def observe(self, sim) -> dict | None:
+        """One tick: fire when nothing sank but packets are waiting."""
+        delivered = sim.total_delivered
+        last = self._last_delivered
+        self._last_delivered = delivered
+        if last is None or delivered != last:
+            return None
+        outstanding = (
+            sim.total_buffered_packets()
+            + sim.total_pending_injections()
+            + sim.packets_in_transit
+        )
+        if outstanding == 0:
+            return None
+        diagnostic = self._diagnose(sim, outstanding)
+        self.fired += 1
+        if len(self.diagnostics) < self.config.max_snapshots:
+            self.diagnostics.append(diagnostic)
+        tel = sim.telemetry
+        if tel.enabled:
+            tel.on_watchdog(sim.now, diagnostic)
+        if self.config.action == "raise":
+            raise DeadlockError(diagnostic)
+        return diagnostic
+
+    def _diagnose(self, sim, outstanding: int) -> dict:
+        """The structured stall snapshot (JSON-serializable)."""
+        routers = []
+        for router in sim.routers:
+            ports = {
+                port.name: occupancy
+                for port, buffer in router.buffers.items()
+                if (occupancy := buffer.occupancy())
+            }
+            if ports:
+                routers.append({
+                    "node": router.node,
+                    "buffered": sum(ports.values()),
+                    "ports": ports,
+                    "draining": router.antistarvation.draining,
+                })
+        routers.sort(key=lambda entry: -entry["buffered"])
+        return {
+            "time": sim.now,
+            "window_cycles": self.config.window_cycles,
+            "delivered_total": sim.total_delivered,
+            "outstanding": outstanding,
+            "buffered": sim.total_buffered_packets(),
+            "pending": sim.total_pending_injections(),
+            "in_transit": sim.packets_in_transit,
+            "sinking": sim.packets_sinking,
+            "routers": routers,
+        }

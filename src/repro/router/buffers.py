@@ -110,6 +110,30 @@ class InputBuffer:
 
     # -- introspection -----------------------------------------------
 
+    def packets(self, channel: VirtualChannel):
+        """Iterate the waiting packets of one channel, FIFO order.
+
+        Read-only view for invariant checking and diagnostics; the
+        underlying deque must not be mutated during iteration.
+        """
+        return iter(self._queues[channel])
+
+    def reserved(self, channel: VirtualChannel) -> int:
+        """Slots promised to in-flight packets but not yet occupied."""
+        return self._reserved[channel]
+
+    def credit_state(self):
+        """Yield ``(channel, occupancy, reserved)`` for non-idle channels.
+
+        The invariant checker walks this to assert credit-flow sanity
+        without touching the per-channel dicts directly.
+        """
+        for channel, queue in self._queues.items():
+            occupancy = len(queue)
+            reserved = self._reserved[channel]
+            if occupancy or reserved:
+                yield channel, occupancy, reserved
+
     def occupancy(self, channel: VirtualChannel | None = None) -> int:
         if channel is not None:
             return len(self._queues[channel])

@@ -97,6 +97,12 @@ class Router:
 
     #: observability hook; the simulator swaps in a live Telemetry.
     telemetry = NULL_TELEMETRY
+    #: fault-injection seam: when set, called between the arbitration
+    #: algorithm and grant application as ``filter(router, launch,
+    #: live, grants, now) -> grants`` (see repro.resilience.faults).
+    #: Packets whose grants are filtered out are released exactly like
+    #: arbitration losers, so flow control stays consistent.
+    grant_filter = None
 
     def __init__(
         self,
@@ -398,6 +404,8 @@ class Router:
             if self.output_busy_until[out] <= now
         )
         grants = self.arbiter.arbitrate(live, free_outputs)
+        if self.grant_filter is not None:
+            grants = self.grant_filter(self, launch, live, grants, now)
         granted = {nom_key for nom_key in ((g.row, g.packet) for g in grants)}
         for nom in live:
             if (nom.row, nom.packet) not in granted:
@@ -413,6 +421,12 @@ class Router:
         if not port.is_network:
             raise ValueError(f"{port.name} has no upstream router")
         return self.topology.neighbor(self.node, port.direction)
+
+    def plan_is_ready(self, plan: HopPlan, now: float) -> bool:
+        """Public readiness probe (used by the fault injector's
+        mis-routing, which must not redirect onto a busy output or a
+        full downstream buffer)."""
+        return self._still_ready(plan, now)
 
     def _still_ready(self, plan: HopPlan, now: float) -> bool:
         if self.output_busy_until[int(plan.output)] > now:

@@ -32,10 +32,14 @@ from repro.sim.standalone import (
     measure_matches,
 )
 from repro.sim.sweep import (
+    SweepGuard,
+    SweepPointError,
     geometric_rates,
+    parse_trace_filename,
     sweep_algorithm,
     sweep_algorithms,
     throughput_gain_at_latency,
+    trace_filename,
 )
 from repro.sim.timing_model import (
     NetworkSimulator,
@@ -74,6 +78,8 @@ __all__ = [
     "SimulationConfig",
     "StandaloneConfig",
     "StandaloneRouterModel",
+    "SweepGuard",
+    "SweepPointError",
     "TrafficConfig",
     "UniformPattern",
     "fast_run",
@@ -82,10 +88,12 @@ __all__ = [
     "make_pattern",
     "measure_matches",
     "paper_run",
+    "parse_trace_filename",
     "saturation_buffer_plan",
     "simulate",
     "simulate_bnf_point",
     "sweep_algorithm",
     "sweep_algorithms",
     "throughput_gain_at_latency",
+    "trace_filename",
 ]

@@ -10,6 +10,7 @@ clock cycles as a float (torus flit times are multiples of 1.5 cycles).
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable
 
 
@@ -23,6 +24,11 @@ class EventQueue:
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Run *callback* when the clock reaches *time*."""
+        if not math.isfinite(time):
+            # NaN would silently corrupt the heap ordering (every
+            # comparison is False) and inf would wedge run_until_idle;
+            # both are always latent arithmetic bugs upstream.
+            raise ValueError(f"event time must be finite, got {time!r}")
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} before now={self.now}")
         heapq.heappush(self._heap, (time, self._sequence, callback))
@@ -30,6 +36,8 @@ class EventQueue:
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
         """Run *callback* after *delay* cycles."""
+        if not math.isfinite(delay):
+            raise ValueError(f"delay must be finite, got {delay!r}")
         if delay < 0:
             raise ValueError("delay cannot be negative")
         self.schedule_at(self.now + delay, callback)

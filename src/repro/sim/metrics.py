@@ -147,6 +147,15 @@ class NetworkStats:
     packets_injected: int = 0
     window_ns: float = 0.0
     num_routers: int = 1
+    #: resilience accounting (whole run, not just the measurement
+    #: window): injected link faults, retransmissions they triggered,
+    #: packets dropped after exhausting retries (by recorded reason)
+    #: and coherence transactions aborted by those drops.
+    link_faults: int = 0
+    link_retries: int = 0
+    packets_dropped: int = 0
+    drops_by_reason: dict = field(default_factory=dict)
+    transactions_aborted: int = 0
 
     def delivered_flits_per_router_ns(self) -> float:
         """The paper's throughput metric."""
@@ -175,6 +184,31 @@ class BNFPoint:
 
     def as_row(self) -> tuple[float, float, float]:
         return (self.offered_rate, self.throughput, self.latency_ns)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (sweep checkpoint journals)."""
+        return {
+            "offered_rate": self.offered_rate,
+            "throughput": self.throughput,
+            "latency_ns": self.latency_ns,
+            "transaction_latency_ns": self.transaction_latency_ns,
+            "packets_delivered": self.packets_delivered,
+            "counters": self.counters,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BNFPoint":
+        """Inverse of :meth:`as_dict` (journal resume)."""
+        return cls(
+            offered_rate=float(data["offered_rate"]),
+            throughput=float(data["throughput"]),
+            latency_ns=float(data["latency_ns"]),
+            transaction_latency_ns=float(
+                data.get("transaction_latency_ns", math.nan)
+            ),
+            packets_delivered=int(data.get("packets_delivered", 0)),
+            counters=data.get("counters"),
+        )
 
 
 @dataclass

@@ -99,13 +99,21 @@ class StandaloneRouterModel:
 
     Pass a :class:`repro.obs.telemetry.Telemetry` to have the arbiter
     under test report nomination/grant/conflict counters per trial.
+    Pass an :class:`repro.resilience.ArbitrationInvariants` as
+    ``invariants`` to validate every trial's grants as a legal matching
+    (unique rows/packets/outputs, nominated combinations only, free
+    outputs only, per-port capacities respected).
     """
 
     def __init__(
-        self, config: StandaloneConfig, telemetry: Telemetry | None = None
+        self,
+        config: StandaloneConfig,
+        telemetry: Telemetry | None = None,
+        invariants=None,
     ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.invariants = invariants
         self._rng = random.Random(config.seed)
         self._arbiter = make_arbiter(
             config.algorithm,
@@ -128,11 +136,16 @@ class StandaloneRouterModel:
         if tel.enabled:
             tel.open_run(self.config, model="standalone")
         stats = RunningStats()
-        for _ in range(self.config.trials):
+        invariants = self.invariants
+        for trial in range(self.config.trials):
             packets = self._generate_packets()
             free_outputs = self._generate_free_outputs()
             nominations = self._build_nominations(packets, free_outputs)
             grants = self._arbiter.arbitrate(nominations, free_outputs)
+            if invariants is not None:
+                invariants.check_arbitration(
+                    nominations, free_outputs, grants, trial
+                )
             stats.add(float(len(grants)))
         if tel.enabled:
             tel.finalize(trials=self.config.trials, mean_matches=stats.mean)

@@ -34,6 +34,13 @@ from repro.network.channels import entry_channel
 from repro.network.packets import Packet
 from repro.network.topology import Torus2D
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.resilience.faults import (
+    REASON_LINK_RETRIES_EXHAUSTED,
+    FaultConfig,
+    FaultInjector,
+)
+from repro.resilience.invariants import InvariantChecker, InvariantConfig
+from repro.resilience.watchdog import ProgressWatchdog, WatchdogConfig
 from repro.router.ports import (
     InputPort,
     LOCAL_INPUTS,
@@ -54,13 +61,46 @@ class NetworkSimulator:
     counters, per-port utilization and (with a real sink) a JSONL
     event trace; the default :data:`~repro.obs.telemetry.NULL_TELEMETRY`
     keeps every instrumented site down to one branch.
+
+    The resilience layer (:mod:`repro.resilience`) attaches the same
+    way: ``faults`` takes a :class:`~repro.resilience.FaultConfig` (or
+    a built :class:`~repro.resilience.FaultInjector`), ``invariants``
+    an :class:`~repro.resilience.InvariantConfig` or checker, and
+    ``watchdog`` a :class:`~repro.resilience.WatchdogConfig` or
+    :class:`~repro.resilience.ProgressWatchdog`.  All three default to
+    off, costing one ``is None`` check per hook site.
     """
 
     def __init__(
-        self, config: SimulationConfig, telemetry: Telemetry | None = None
+        self,
+        config: SimulationConfig,
+        telemetry: Telemetry | None = None,
+        faults: FaultConfig | FaultInjector | None = None,
+        invariants: InvariantConfig | InvariantChecker | None = None,
+        watchdog: WatchdogConfig | ProgressWatchdog | None = None,
     ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if faults is not None and not isinstance(faults, FaultInjector):
+            faults = FaultInjector(faults)
+        if invariants is not None and not isinstance(invariants, InvariantChecker):
+            invariants = InvariantChecker(invariants)
+        if watchdog is not None and not isinstance(watchdog, ProgressWatchdog):
+            watchdog = ProgressWatchdog(watchdog)
+        self.faults = faults
+        self.invariants = invariants
+        self.watchdog = watchdog
+        #: whole-run packet accounting (the conservation invariant's
+        #: ground truth; window-relative figures live in ``stats``).
+        self.total_injected = 0
+        self.total_delivered = 0
+        self.total_dropped = 0
+        self.packets_in_transit = 0
+        self.packets_sinking = 0
+        #: set by :meth:`drain`: True when the network quiesced inside
+        #: the budget, False when packets were left unaccounted.
+        self.drained_clean: bool | None = None
+        self._telemetry_finalized = False
         network = config.network
         self.topology = Torus2D(network.width, network.height)
         self.clocks = network.effective_clocks
@@ -91,6 +131,11 @@ class NetworkSimulator:
         for router in self.routers:
             router.output_tail_cycles = float(self.timing.tail_cycles)
         self._wire_topology()
+
+        self._link_faults_active = faults is not None and faults.affects_links
+        if faults is not None and faults.affects_grants:
+            for router in self.routers:
+                router.grant_filter = faults.filter_grants
 
         self.engine = CoherenceEngine(
             host=self,
@@ -173,6 +218,7 @@ class NetworkSimulator:
     def enqueue_local(self, node: int, port: InputPort, packet: Packet) -> None:
         if port.is_network:
             raise ValueError("local injection must use a local input port")
+        self.total_injected += 1
         if self._in_window(self.queue.now):
             self.stats.packets_injected += 1
         tel = self.telemetry
@@ -198,26 +244,78 @@ class NetworkSimulator:
             self.queue.schedule_at(
                 self._injector.next_interval(), partial(self._injection_attempt, node)
             )
+        if self.invariants is not None:
+            self.queue.schedule_after(
+                self.invariants.config.check_interval_cycles, self._invariant_tick
+            )
+        if self.watchdog is not None:
+            self.queue.schedule_after(
+                self.watchdog.config.window_cycles, self._watchdog_tick
+            )
         self.queue.run_until(self._window_end)
+        if self.invariants is not None:
+            self.invariants.check_network(self)
         self.stats.window_ns = (
             self.config.measure_cycles * self.clocks.cycle_ns
         )
-        if tel.enabled:
-            tel.finalize(
-                packets_delivered=self.stats.packets_delivered,
-                flits_delivered=self.stats.flits_delivered,
-            )
+        self.stats.transactions_aborted = self.engine.transactions_aborted
+        # Guarded runs are expected to be drained afterwards, and the
+        # interesting diagnostics (drain-warn, drain-time watchdog
+        # fires) happen there -- keep the sink open until then.
+        if tel.enabled and not self._guarded():
+            self._finalize_telemetry()
         return self.stats
 
-    def drain(self, max_extra_cycles: float = 1_000_000.0) -> None:
+    def _guarded(self) -> bool:
+        return (
+            self.faults is not None
+            or self.invariants is not None
+            or self.watchdog is not None
+        )
+
+    def _finalize_telemetry(self) -> None:
+        if self._telemetry_finalized:
+            return
+        self._telemetry_finalized = True
+        self.telemetry.finalize(
+            packets_delivered=self.stats.packets_delivered,
+            flits_delivered=self.stats.flits_delivered,
+        )
+
+    def drain(self, max_extra_cycles: float = 1_000_000.0) -> bool:
         """After :meth:`run`, let in-flight traffic finish.
 
         Injection stops at the measurement window's end, so the event
         queue empties once every outstanding transaction completes.
         Used by conservation tests and by examples that want a quiesced
         network to inspect.
+
+        Returns True when the network quiesced (no packet buffered,
+        pending, in transit or sinking) inside the cycle budget; False
+        -- also recorded on :attr:`drained_clean` and as a telemetry
+        ``drain-warn`` event -- when the budget ran out first, which is
+        how a deadlocked run looks from the outside.
+
+        Runs with a fault injector, invariant checker or watchdog
+        attached finalize their telemetry here rather than in
+        :meth:`run`, so drain-time diagnostics reach the trace; such
+        runs should always be drained.
         """
         self.queue.run_until_idle(self._window_end + max_extra_cycles)
+        clean = self._outstanding_work() == 0
+        self.drained_clean = clean
+        self.stats.transactions_aborted = self.engine.transactions_aborted
+        tel = self.telemetry
+        if tel.enabled:
+            if not clean:
+                tel.on_drain_exhausted(
+                    self.queue.now,
+                    self.total_buffered_packets(),
+                    self.total_pending_injections(),
+                    self.packets_in_transit,
+                )
+            self._finalize_telemetry()
+        return clean
 
     def bnf_point(self) -> BNFPoint:
         """Run and summarize as one Burton-Normal-Form point."""
@@ -305,6 +403,20 @@ class NetworkSimulator:
         if tel.profiling:
             tel.profiler.add("arbitration", began)
         if launch is None:
+            # Arrivals, departures and credit releases all generate
+            # wake-ups, but an output's busy window expiring is pure
+            # passage of time: if every buffered packet wants a busy
+            # output, nothing else will ever re-kick this router (the
+            # request for that wake can be swallowed by the
+            # _request_launch dedup when an earlier, doomed attempt is
+            # already queued).  Re-arm at the next output-free time.
+            if router.total_buffered():
+                next_free = min(
+                    (t for t in router.output_busy_until if t > now),
+                    default=None,
+                )
+                if next_free is not None:
+                    self._request_launch(router, delay=next_free - now)
             return
         router.last_launch_time = now
         self.queue.schedule_at(
@@ -358,30 +470,124 @@ class NetworkSimulator:
                 + self.link.local_port_cycles
                 + packet.flits * router.local_cycles_per_flit
             )
+            self.packets_sinking += 1
             self.queue.schedule_after(
                 delivery_delay, partial(self._delivered, packet)
             )
         else:
             neighbor, in_port = router.downstream[plan.output]
             arrival_delay = self.timing.tail_cycles + self._hop_latency
-            self.queue.schedule_after(
-                arrival_delay,
-                partial(self._arrive, neighbor, in_port, plan.target_channel, packet),
-            )
+            self.packets_in_transit += 1
+            if self._link_faults_active:
+                self.queue.schedule_after(
+                    arrival_delay,
+                    partial(
+                        self._link_arrival,
+                        neighbor,
+                        in_port,
+                        plan.target_channel,
+                        packet,
+                        0,
+                    ),
+                )
+            else:
+                self.queue.schedule_after(
+                    arrival_delay,
+                    partial(
+                        self._arrive, neighbor, in_port, plan.target_channel, packet
+                    ),
+                )
 
     def _arrive(self, router: Router, port: InputPort, channel, packet: Packet) -> None:
         tel = self.telemetry
         began = tel.profiler.begin() if tel.profiling else 0.0
+        self.packets_in_transit -= 1
         router.buffers[port].commit(packet, channel)
         packet.waiting_since = self.queue.now
         if tel.profiling:
             tel.profiler.add("traversal", began)
         self._request_launch(router)
 
+    # -- fault injection ------------------------------------------------------
+
+    def _link_arrival(
+        self, router: Router, port: InputPort, channel, packet: Packet, attempt: int
+    ) -> None:
+        """Arrival through a faulty link: deliver, retry, or drop.
+
+        Models the 21364's link-level retransmission protocol with the
+        injector's bounded-retry policy: a faulted traversal is resent
+        after an exponential backoff (the packet stays logically "on
+        the link" -- its downstream reservation is held), and a packet
+        that exhausts its retries is dropped with a recorded reason.
+        """
+        fault = self.faults.link_fault(packet)
+        if fault is None:
+            self._arrive(router, port, channel, packet)
+            return
+        now = self.queue.now
+        self.stats.link_faults += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.on_link_fault(now, router.node, packet.uid, fault, attempt)
+        retry = self.faults.retry
+        if attempt >= retry.max_retries:
+            self._drop_packet(
+                router, port, channel, packet, REASON_LINK_RETRIES_EXHAUSTED
+            )
+            return
+        self.stats.link_retries += 1
+        if tel.enabled:
+            tel.on_link_retry()
+        self.queue.schedule_after(
+            retry.backoff_cycles(attempt) + self._hop_latency,
+            partial(self._link_arrival, router, port, channel, packet, attempt + 1),
+        )
+
+    def _drop_packet(
+        self, router: Router, port: InputPort, channel, packet: Packet, reason: str
+    ) -> None:
+        """Remove a packet from the accounting, with its reason."""
+        router.buffers[port].cancel_reservation(channel)
+        self.packets_in_transit -= 1
+        self.total_dropped += 1
+        self.stats.packets_dropped += 1
+        reasons = self.stats.drops_by_reason
+        reasons[reason] = reasons.get(reason, 0) + 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.on_drop(
+                self.queue.now, router.node, packet.uid, packet.pclass.label, reason
+            )
+        # Let the owning transaction abort (frees the MSHR) so the rest
+        # of the workload keeps flowing.
+        self.engine.on_packet_dropped(packet)
+        # The cancelled reservation freed a slot: wake the upstream
+        # router that feeds this input port.
+        self._request_launch(self.routers[router.upstream_node(port)])
+
+    # -- resilience ticks -----------------------------------------------------
+
+    def _invariant_tick(self) -> None:
+        self.invariants.check_network(self)
+        if self.queue.now < self._window_end or self._outstanding_work():
+            self.queue.schedule_after(
+                self.invariants.config.check_interval_cycles, self._invariant_tick
+            )
+
+    def _watchdog_tick(self) -> None:
+        self.watchdog.observe(self)
+        if self.queue.now < self._window_end or self._outstanding_work():
+            self.queue.schedule_after(
+                self.watchdog.config.window_cycles, self._watchdog_tick
+            )
+
     # -- delivery & statistics ------------------------------------------------------
 
     def _delivered(self, packet: Packet) -> None:
         now = self.queue.now
+        self.packets_sinking -= 1
+        self.total_delivered += 1
         if self._observers:
             for observer in self._observers:
                 observer.on_delivery(self, packet)
@@ -421,6 +627,15 @@ class NetworkSimulator:
 
     def total_pending_injections(self) -> int:
         return sum(len(queue) for queue in self._pending.values())
+
+    def _outstanding_work(self) -> int:
+        """Packets still owed a delivery or drop (conservation residue)."""
+        return (
+            self.total_buffered_packets()
+            + self.total_pending_injections()
+            + self.packets_in_transit
+            + self.packets_sinking
+        )
 
 
 def simulate(config: SimulationConfig) -> NetworkStats:

@@ -1,0 +1,42 @@
+"""Shared fixtures for the resilience tests.
+
+Every test in this directory carries the ``resilience`` marker, so the
+fault-injection smoke job can run exactly this slice with
+``pytest -m resilience``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import NetworkConfig, SimulationConfig, TrafficConfig
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "tests/resilience/" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.resilience)
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A 2x2 torus run small enough to guard exhaustively in tests."""
+    return SimulationConfig(
+        network=NetworkConfig(width=2, height=2),
+        traffic=TrafficConfig(injection_rate=0.01),
+        warmup_cycles=200,
+        measure_cycles=1_000,
+        seed=11,
+    )
+
+
+@pytest.fixture
+def quad_config() -> SimulationConfig:
+    """A 4x4 torus run: big enough for link faults to fire reliably."""
+    return SimulationConfig(
+        network=NetworkConfig(width=4, height=4),
+        traffic=TrafficConfig(injection_rate=0.02),
+        warmup_cycles=500,
+        measure_cycles=2_500,
+        seed=11,
+    )

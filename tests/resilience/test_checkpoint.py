@@ -1,0 +1,212 @@
+"""Checkpointed sweeps: the journal, resume splicing, and retry logic."""
+
+import json
+import math
+
+import pytest
+
+from repro.resilience.checkpoint import SweepJournal, rate_key
+from repro.resilience.faults import FaultConfig
+from repro.resilience.invariants import InvariantConfig
+from repro.resilience.watchdog import WatchdogConfig
+from repro.sim.config import NetworkConfig, SimulationConfig, TrafficConfig
+from repro.sim.metrics import BNFPoint
+from repro.sim.sweep import SweepGuard, SweepPointError, sweep_algorithm
+
+
+def tiny_config(seed: int = 3) -> SimulationConfig:
+    return SimulationConfig(
+        network=NetworkConfig(width=2, height=2),
+        traffic=TrafficConfig(injection_rate=0.01),
+        warmup_cycles=200,
+        measure_cycles=800,
+        seed=seed,
+    )
+
+
+def sample_point(rate: float = 0.01) -> BNFPoint:
+    return BNFPoint(
+        offered_rate=rate,
+        throughput=0.125,
+        latency_ns=42.5,
+        transaction_latency_ns=120.0,
+        packets_delivered=960,
+    )
+
+
+class TestRateKey:
+    def test_distinct_floats_get_distinct_keys(self):
+        assert rate_key(0.3) != rate_key(0.30000000000000004)
+
+    def test_key_round_trips(self):
+        for rate in (0.3, 0.30000000000000004, 1e-3, 0.045):
+            assert float(rate_key(rate)) == rate
+
+
+class TestSweepJournal:
+    def test_success_round_trips_the_point(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.journal.jsonl")
+        point = sample_point()
+        journal.record_success("SPAA-base", 0.01, point, attempts=2)
+
+        fresh = SweepJournal(journal.path)
+        restored = fresh.completed_point("SPAA-base", 0.01)
+        assert restored is not None
+        assert restored.offered_rate == point.offered_rate
+        assert restored.throughput == point.throughput
+        assert restored.latency_ns == point.latency_ns
+        assert restored.packets_delivered == point.packets_delivered
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = SweepJournal(tmp_path / "absent.jsonl")
+        assert journal.completed_point("PIM1", 0.01) is None
+        assert journal.completed_count() == 0
+
+    def test_latest_record_wins(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_failure("PIM1", 0.02, attempt=1, error="boom")
+        assert journal.completed_point("PIM1", 0.02) is None
+        assert journal.failures()
+        journal.record_success("PIM1", 0.02, sample_point(0.02))
+        assert journal.completed_point("PIM1", 0.02) is not None
+        assert not journal.failures()
+
+    def test_float_twin_rates_are_distinct_points(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_success("PIM1", 0.3, sample_point(0.3))
+        assert journal.completed_point("PIM1", 0.30000000000000004) is None
+
+    def test_corrupt_line_is_a_loud_error(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text('{"algorithm": "PIM1"\n')
+        with pytest.raises(ValueError, match="corrupt journal line"):
+            SweepJournal(path).load()
+
+    def test_nan_latency_survives_the_round_trip(self, tmp_path):
+        """Unsaturated smoke points can carry NaN transaction latency."""
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        point = BNFPoint(
+            offered_rate=0.002, throughput=0.01, latency_ns=30.0,
+            transaction_latency_ns=math.nan, packets_delivered=5,
+        )
+        journal.record_success("WFA-base", 0.002, point)
+        restored = SweepJournal(journal.path).completed_point("WFA-base", 0.002)
+        assert math.isnan(restored.transaction_latency_ns)
+
+
+class TestSweepResume:
+    def test_resume_splices_journalled_points(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        config = tiny_config()
+        first = sweep_algorithm(
+            config, rates=(0.005, 0.02), journal=SweepJournal(journal_path)
+        )
+        lines_after_first = journal_path.read_text().count("\n")
+
+        progress: list[str] = []
+        resumed = sweep_algorithm(
+            config,
+            rates=(0.005, 0.02),
+            progress=progress.append,
+            journal=SweepJournal(journal_path),
+            resume=True,
+        )
+        # No new journal lines: nothing re-ran.
+        assert journal_path.read_text().count("\n") == lines_after_first
+        assert sum("resumed from journal" in line for line in progress) == 2
+        assert [p.as_dict() for p in resumed.points] == [
+            p.as_dict() for p in first.points
+        ]
+
+    def test_resume_runs_only_the_missing_points(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        config = tiny_config()
+        sweep_algorithm(
+            config, rates=(0.005,), journal=SweepJournal(journal_path)
+        )
+        curve = sweep_algorithm(
+            config,
+            rates=(0.005, 0.02),
+            journal=SweepJournal(journal_path),
+            resume=True,
+        )
+        assert [p.offered_rate for p in curve.points] == [0.005, 0.02]
+        records = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+        ]
+        assert [r["rate"] for r in records] == [0.005, 0.02]
+
+
+class TestRetries:
+    def test_failures_are_journalled_then_raised(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        # An impossible invariant bound: every buffered packet is
+        # instantly "too old", so every attempt fails.
+        invariants = InvariantConfig(
+            check_interval_cycles=100.0, max_wait_cycles=1e-9
+        )
+        with pytest.raises(SweepPointError) as excinfo:
+            sweep_algorithm(
+                tiny_config(),
+                rates=(0.02,),
+                invariants=invariants,
+                journal=SweepJournal(journal_path),
+                max_attempts=2,
+            )
+        assert excinfo.value.attempts == 2
+        records = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+        ]
+        assert [r["status"] for r in records] == ["failed", "failed"]
+        assert [r["attempt"] for r in records] == [1, 2]
+        assert "invariant" in records[0]["error"]
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            sweep_algorithm(tiny_config(), rates=(0.01,), max_attempts=0)
+
+    def test_guarded_point_records_resilience_summary(self, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        sweep_algorithm(
+            tiny_config(),
+            rates=(0.02,),
+            faults=FaultConfig(seed=5, flit_drop_rate=2e-3),
+            invariants=InvariantConfig(),
+            watchdog=WatchdogConfig(window_cycles=500.0),
+            journal=SweepJournal(journal_path),
+        )
+        record = json.loads(journal_path.read_text().splitlines()[0])
+        resilience = record["resilience"]
+        assert resilience["drained_clean"] is True
+        assert resilience["invariant_violations"] == 0
+        assert resilience["packets_dropped"] == 0
+        assert resilience["link_retries"] == resilience["faults_injected"]
+
+
+class TestSweepGuard:
+    def test_scoped_derives_per_panel_journals(self, tmp_path):
+        guard = SweepGuard(journal_path=tmp_path)
+        scoped = guard.scoped("4x4_random")
+        assert scoped.journal_path == tmp_path / "4x4_random.journal.jsonl"
+        # No journal directory: scoping is a no-op.
+        assert SweepGuard().scoped("4x4_random") == SweepGuard()
+
+    def test_sweep_kwargs_builds_a_journal(self, tmp_path):
+        guard = SweepGuard(
+            faults=FaultConfig(seed=1, flit_drop_rate=1e-3),
+            journal_path=tmp_path / "x.jsonl",
+            resume=True,
+            max_attempts=3,
+        )
+        kwargs = guard.sweep_kwargs()
+        assert isinstance(kwargs["journal"], SweepJournal)
+        assert kwargs["resume"] is True
+        assert kwargs["max_attempts"] == 3
+        assert kwargs["faults"] is guard.faults
+
+    def test_unguarded_sweep_unchanged_by_empty_guard(self):
+        kwargs = SweepGuard().sweep_kwargs()
+        assert kwargs["journal"] is None
+        assert kwargs["faults"] is None

@@ -1,0 +1,112 @@
+"""Runtime invariant checking: clean runs stay clean, broken state trips."""
+
+import pytest
+
+from repro.core.types import Grant, Nomination, SourceKind
+from repro.resilience.invariants import (
+    ArbitrationInvariants,
+    InvariantChecker,
+    InvariantConfig,
+    InvariantViolationError,
+)
+from repro.sim.standalone import StandaloneConfig, StandaloneRouterModel
+from repro.sim.timing_model import NetworkSimulator
+
+
+class TestInvariantConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InvariantConfig(check_interval_cycles=0)
+        with pytest.raises(ValueError):
+            InvariantConfig(max_wait_cycles=-5.0)
+
+    def test_age_check_can_be_disabled(self):
+        assert InvariantConfig(max_wait_cycles=None).max_wait_cycles is None
+
+
+class TestCleanRuns:
+    def test_fault_free_run_has_zero_violations(self, quad_config):
+        """Acceptance: a clean sweep point under full checking is clean."""
+        checker = InvariantChecker(InvariantConfig(check_interval_cycles=250.0))
+        sim = NetworkSimulator(quad_config, invariants=checker)
+        sim.run()
+        assert sim.drain()
+        checker.check_network(sim)
+        assert checker.checks_run > 4, "periodic cadence never fired"
+        assert checker.clean, checker.violations
+        checker.raise_if_violated()  # must not raise
+
+    def test_every_timing_algorithm_is_clean(self, tiny_config):
+        from repro.core.registry import TIMING_ALGORITHMS
+
+        for algorithm in TIMING_ALGORITHMS:
+            checker = InvariantChecker()
+            sim = NetworkSimulator(
+                tiny_config.with_algorithm(algorithm), invariants=checker
+            )
+            sim.run()
+            sim.drain()
+            checker.check_network(sim)
+            assert checker.clean, (algorithm, checker.violations)
+
+
+class TestViolationDetection:
+    def test_conservation_breach_detected(self, tiny_config):
+        sim = NetworkSimulator(tiny_config)
+        sim.run()
+        sim.total_injected += 1  # simulate a lost packet
+        checker = InvariantChecker()
+        found = checker.check_network(sim)
+        assert any(v.name == "packet-conservation" for v in found)
+
+    def test_credit_breach_detected(self, tiny_config):
+        sim = NetworkSimulator(tiny_config)
+        sim.run()
+        buffer = next(iter(sim.routers[0].buffers.values()))
+        channel = next(iter(buffer._reserved))
+        buffer._reserved[channel] = -1  # credit counter gone negative
+        checker = InvariantChecker()
+        found = checker.check_network(sim)
+        assert any(v.name == "buffer-credit" for v in found)
+
+    def test_fail_fast_raises_at_the_breach(self, tiny_config):
+        sim = NetworkSimulator(tiny_config)
+        sim.run()
+        sim.total_injected += 1
+        checker = InvariantChecker(InvariantConfig(fail_fast=True))
+        with pytest.raises(InvariantViolationError):
+            checker.check_network(sim)
+
+    def test_error_message_lists_evidence(self, tiny_config):
+        sim = NetworkSimulator(tiny_config)
+        sim.run()
+        sim.total_injected += 3
+        checker = InvariantChecker()
+        checker.check_network(sim)
+        with pytest.raises(InvariantViolationError) as excinfo:
+            checker.raise_if_violated()
+        assert "packet-conservation" in str(excinfo.value)
+
+
+class TestArbitrationInvariants:
+    def test_clean_standalone_run(self):
+        checker = ArbitrationInvariants()
+        model = StandaloneRouterModel(
+            StandaloneConfig(algorithm="SPAA-base", trials=300, seed=5),
+            invariants=checker,
+        )
+        model.run()
+        assert checker.checks_run == 300
+        assert checker.clean
+
+    def test_illegal_matching_trips(self):
+        checker = ArbitrationInvariants()
+        nomination = Nomination(
+            row=0, packet=1, outputs=(2,), source=SourceKind.NETWORK, age=0
+        )
+        bogus = [Grant(row=0, packet=1, output=3)]  # never nominated output 3
+        with pytest.raises(InvariantViolationError):
+            checker.check_arbitration(
+                [nomination], frozenset({2, 3}), bogus, trial=7
+            )
+        assert not checker.clean

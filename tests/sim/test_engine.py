@@ -76,3 +76,34 @@ class TestScheduling:
         queue.schedule_at(1.0, lambda: queue.schedule_at(1.0, lambda: log.append("x")))
         queue.run_until(2.0)
         assert log == ["x"]
+
+
+class TestNonFiniteTimes:
+    def test_nan_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError, match="finite"):
+            queue.schedule_at(float("nan"), lambda: None)
+
+    def test_infinite_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError, match="finite"):
+            queue.schedule_at(float("inf"), lambda: None)
+
+    def test_nan_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError, match="finite"):
+            queue.schedule_after(float("nan"), lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError, match="finite"):
+            queue.schedule_after(float("inf"), lambda: None)
+
+    def test_queue_unchanged_after_rejection(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule_at(float("nan"), lambda: None)
+        assert queue.pending == 0
+        queue.schedule_at(1.0, lambda: None)  # still usable
+        queue.run_until_idle()
+        assert queue.now == 1.0

@@ -6,6 +6,8 @@ from repro.sim.config import NetworkConfig, SimulationConfig, TrafficConfig
 from repro.sim.metrics import BNFCurve, BNFPoint
 from repro.sim.sweep import (
     geometric_rates,
+    parse_trace_filename,
+    trace_filename,
     sweep_algorithm,
     sweep_algorithms,
     throughput_gain_at_latency,
@@ -79,3 +81,28 @@ class TestGainAtLatency:
         winner = self.curve("w", 1.0)
         loser = BNFCurve(label="l")
         assert throughput_gain_at_latency(winner, loser, 75.0) == float("inf")
+
+
+class TestTraceFilenames:
+    def test_round_trip(self):
+        for algorithm in ("SPAA-base", "WFA-rotary", "odd_name_rate9"):
+            for rate in (0.3, 0.30000000000000004, 1e-3, 0.045):
+                name = trace_filename(algorithm, rate)
+                assert parse_trace_filename(name) == (algorithm, rate)
+
+    def test_float_twins_get_distinct_files(self):
+        """0.3 and 0.30000000000000004 used to collapse to one file."""
+        close_pair = 0.3, 0.1 + 0.2  # the classic accumulation artifact
+        assert close_pair[0] != close_pair[1]
+        assert (
+            trace_filename("PIM1", close_pair[0])
+            != trace_filename("PIM1", close_pair[1])
+        )
+
+    def test_non_trace_names_rejected(self):
+        with pytest.raises(ValueError):
+            parse_trace_filename("notes.txt")
+        with pytest.raises(ValueError):
+            parse_trace_filename("PIM1_rateabc.jsonl")
+        with pytest.raises(ValueError):
+            parse_trace_filename("_rate0.01.jsonl")

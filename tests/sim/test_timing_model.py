@@ -190,3 +190,31 @@ class TestPaperShape:
         )
         base.run(), deep.run()
         assert deep.stats.window_ns == pytest.approx(base.stats.window_ns / 2)
+
+
+class TestDrainFlag:
+    def test_clean_drain_returns_true_and_records(self):
+        sim = NetworkSimulator(config())
+        sim.run()
+        assert sim.drained_clean is None  # not drained yet
+        assert sim.drain() is True
+        assert sim.drained_clean is True
+
+    def test_exhausted_drain_returns_false_and_warns(self):
+        from repro.obs.sink import MemorySink
+        from repro.obs.telemetry import Telemetry
+        from repro.resilience.faults import FaultConfig, FaultInjector
+
+        telemetry = Telemetry(sink=MemorySink())
+        sim = NetworkSimulator(
+            config(),
+            telemetry=telemetry,
+            faults=FaultInjector(
+                FaultConfig(seed=1, grant_suppression_rate=1.0)
+            ),
+        )
+        sim.run()
+        assert sim.drain(max_extra_cycles=1_000.0) is False
+        assert sim.drained_clean is False
+        kinds = [record.get("kind") for record in telemetry.sink.records]
+        assert "drain-warn" in kinds

@@ -53,6 +53,11 @@ PUBLIC_MODULES = [
     "repro.sim.sweep",
     "repro.sim.timing_model",
     "repro.sim.traffic",
+    "repro.resilience",
+    "repro.resilience.checkpoint",
+    "repro.resilience.faults",
+    "repro.resilience.invariants",
+    "repro.resilience.watchdog",
     "repro.experiments",
     "repro.experiments.claims",
     "repro.experiments.cli",
