@@ -81,6 +81,7 @@ def _run_fig10(args: argparse.Namespace) -> str:
         progress=_progress(args),
         telemetry_dir=args.telemetry_dir,
         guard=_sweep_guard(args),
+        workers=args.workers,
     )
     return figure10.format_figure10(result)
 
@@ -97,6 +98,7 @@ def _run_fig11(args: argparse.Namespace) -> str:
         progress=_progress(args),
         telemetry_dir=args.telemetry_dir,
         guard=_sweep_guard(args),
+        workers=args.workers,
     )
     return figure11.format_figure11(result)
 
@@ -157,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--output", type=Path, default=None, help="also write the report here"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run fig10/fig11 sweep points in a process pool of N "
+             "spawn-context workers (default 1 = serial); per-point "
+             "results are bitwise identical to a serial run, and with "
+             "--journal-dir the journal doubles as the work queue so "
+             "--resume works the same as serially",
     )
     parser.add_argument(
         "--telemetry-dir",
@@ -230,6 +243,8 @@ def main(argv: list[str] | None = None) -> int:
 
         return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reports = []
     for name in names:

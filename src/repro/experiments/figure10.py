@@ -141,6 +141,7 @@ def run_panel(
     progress=None,
     telemetry_dir=None,
     guard: SweepGuard | None = None,
+    workers: int = 1,
 ) -> dict[str, BNFCurve]:
     """Sweep one Figure 10 panel.
 
@@ -149,7 +150,9 @@ def run_panel(
     arbiter counters (see :mod:`repro.obs`).  With a *guard* (see
     :class:`repro.sim.sweep.SweepGuard`) every point runs with fault
     injection / invariant checking / watchdog / checkpointing attached;
-    the journal is scoped per panel.
+    the journal is scoped per panel.  With ``workers > 1`` the panel's
+    (algorithm, rate) points run in a process pool (see
+    :mod:`repro.sim.parallel`) with bitwise identical per-point stats.
     """
     config = panel_config(panel, preset, seed)
     if telemetry_dir is not None:
@@ -163,6 +166,7 @@ def run_panel(
         panel.rates,
         progress,
         telemetry_dir=telemetry_dir,
+        workers=workers,
         **guard_kwargs,
     )
 
@@ -180,6 +184,7 @@ def run_figure10(
     progress=None,
     telemetry_dir=None,
     guard: SweepGuard | None = None,
+    workers: int = 1,
 ) -> Figure10Result:
     """Regenerate every panel of Figure 10."""
     result = Figure10Result(preset=preset)
@@ -187,7 +192,8 @@ def run_figure10(
         if progress is not None:
             progress(f"--- {panel.name} ---")
         result.panels[panel.name] = run_panel(
-            panel, preset, algorithms, seed, progress, telemetry_dir, guard
+            panel, preset, algorithms, seed, progress, telemetry_dir, guard,
+            workers,
         )
     return result
 

@@ -120,8 +120,14 @@ def run_panel(
     progress=None,
     telemetry_dir=None,
     guard: SweepGuard | None = None,
+    workers: int = 1,
 ) -> dict[str, BNFCurve]:
-    """Sweep one Figure 11 panel, optionally guarded (see SweepGuard)."""
+    """Sweep one Figure 11 panel, optionally guarded (see SweepGuard).
+
+    ``workers > 1`` fans the panel's points out over a process pool
+    (see :mod:`repro.sim.parallel`); per-point results stay bitwise
+    identical to a serial run.
+    """
     config = panel_config(panel, preset, seed)
     if telemetry_dir is not None:
         telemetry_dir = Path(telemetry_dir) / f"fig11{panel.key}"
@@ -134,6 +140,7 @@ def run_panel(
         panel.rates,
         progress,
         telemetry_dir=telemetry_dir,
+        workers=workers,
         **guard_kwargs,
     )
 
@@ -146,6 +153,7 @@ def run_figure11(
     progress=None,
     telemetry_dir=None,
     guard: SweepGuard | None = None,
+    workers: int = 1,
 ) -> Figure11Result:
     result = Figure11Result(preset=preset)
     for panel in panels:
@@ -153,7 +161,8 @@ def run_figure11(
             progress(f"--- Figure 11{panel.key}: {panel.name} ---")
         result.panel_specs[panel.name] = panel
         result.panels[panel.name] = run_panel(
-            panel, preset, algorithms, seed, progress, telemetry_dir, guard
+            panel, preset, algorithms, seed, progress, telemetry_dir, guard,
+            workers,
         )
     return result
 

@@ -32,6 +32,7 @@ from repro.resilience.faults import (
 )
 from repro.resilience.invariants import (
     ArbitrationInvariants,
+    InFlightTracker,
     InvariantChecker,
     InvariantConfig,
     InvariantViolation,
@@ -49,6 +50,7 @@ __all__ = [
     "DeadlockError",
     "FaultConfig",
     "FaultInjector",
+    "InFlightTracker",
     "InvariantChecker",
     "InvariantConfig",
     "InvariantViolation",

@@ -21,6 +21,7 @@ filenames of :mod:`repro.sim.sweep`.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.sim.metrics import BNFPoint
@@ -131,6 +132,37 @@ class SweepJournal:
             if isinstance(error, BaseException)
             else str(error),
         })
+
+    def compact(self) -> int:
+        """Rewrite the journal latest-wins; returns the lines dropped.
+
+        Long sweeps with flaky points accrete one failure line per
+        retry, so the journal grows without bound while only the latest
+        record per (algorithm, rate) key ever matters.  Compaction
+        writes those latest records to a sibling temp file and
+        atomically renames it over the journal (fsync first), so a
+        crash mid-compaction leaves either the old complete journal or
+        the new complete one -- never a torn file.  Replaying the
+        compacted journal reconstructs the exact same latest-wins
+        state.  A no-op (returning 0) when nothing would shrink.
+        """
+        self._ensure_loaded()
+        if not self.path.exists():
+            return 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            total_lines = sum(1 for line in handle if line.strip())
+        dropped = total_lines - len(self._latest)
+        if dropped <= 0:
+            return 0
+        temp_path = self.path.with_name(self.path.name + ".compact.tmp")
+        with temp_path.open("w", encoding="utf-8") as handle:
+            for record in self._latest.values():
+                handle.write(json.dumps(record, separators=(",", ":")))
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+        return dropped
 
     def _append(self, record: dict) -> None:
         self._ensure_loaded()

@@ -85,12 +85,60 @@ class InvariantViolationError(AssertionError):
         super().__init__("\n".join(lines))
 
 
+class InFlightTracker:
+    """Incremental network-wide registry of buffered packets.
+
+    The timing model maintains this at the three buffer transitions --
+    local-port inject, link-arrival commit, and dispatch removal (plus
+    a defensive discard on drops) -- so the invariant checker's
+    periodic sweeps can read duplicate-uid and age state in
+    O(buffered packets) instead of re-walking every router x port x
+    virtual channel.  A uid entering a second buffer slot while still
+    registered is a model bug; the collision is recorded at insertion
+    time and surfaced (as a ``duplicate-in-flight`` violation) by the
+    next check.
+    """
+
+    __slots__ = ("entries", "collisions")
+
+    def __init__(self) -> None:
+        #: uid -> (node, port name, packet); the packet reference keeps
+        #: ``waiting_since`` readable for the incremental age check.
+        self.entries: dict[int, tuple[int, str, object]] = {}
+        #: (uid, prior location, new location) recorded at add() time.
+        self.collisions: list[tuple[int, tuple[int, str], tuple[int, str]]] = []
+
+    def add(self, packet, node: int, port) -> None:
+        uid = packet.uid
+        prior = self.entries.get(uid)
+        if prior is not None:
+            self.collisions.append(
+                (uid, (prior[0], prior[1]), (node, port.name))
+            )
+        self.entries[uid] = (node, port.name, packet)
+
+    def discard(self, packet) -> None:
+        self.entries.pop(packet.uid, None)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class InvariantChecker:
     """Continuous verification of a network simulation's bookkeeping.
 
     Attach with ``NetworkSimulator(config, invariants=checker)`` (or
     pass an :class:`InvariantConfig`); the simulator schedules the
     periodic sweeps and the end-of-run check itself.
+
+    When the simulator maintains an :class:`InFlightTracker` (it does
+    whenever invariants are attached), periodic sweeps take the
+    *incremental* path -- conservation totals, tracker-vs-buffer
+    consistency, collision-recorded duplicates and the age bound over
+    the tracker's O(buffered) entries -- and the exhaustive
+    per-buffer walk (credit sanity included) runs only where callers
+    ask for ``full=True``: the end of :meth:`NetworkSimulator.run` and
+    the post-drain check of guarded sweep points.
     """
 
     def __init__(self, config: InvariantConfig | None = None) -> None:
@@ -108,18 +156,29 @@ class InvariantChecker:
 
     # -- the checks ------------------------------------------------------
 
-    def check_network(self, sim) -> list[InvariantViolation]:
+    def check_network(
+        self, sim, full: bool | None = None
+    ) -> list[InvariantViolation]:
         """Run every invariant against *sim*'s current state.
 
         Called between events, where the simulator's accounting is
         guaranteed consistent.  Returns the violations found by this
         sweep (also appended to :attr:`violations`).
+
+        *full* selects the exhaustive per-buffer walk; the default
+        (None) walks only when the simulator has no
+        :class:`InFlightTracker`, so high-cadence periodic checks on
+        paper-preset networks stay O(buffered packets).
         """
         self.checks_run += 1
         found: list[InvariantViolation] = []
         now = sim.now
+        tracker = getattr(sim, "_inflight", None)
         self._check_conservation(sim, now, found)
-        self._check_buffers(sim, now, found)
+        if full or tracker is None:
+            self._check_buffers(sim, now, found)
+        else:
+            self._check_tracker(sim, tracker, now, found)
         if found:
             self.violations.extend(found)
             tel = sim.telemetry
@@ -153,6 +212,48 @@ class InvariantChecker:
                 f"in_transit={sim.packets_in_transit} "
                 f"sinking={sim.packets_sinking})",
             ))
+
+    def _check_tracker(
+        self, sim, tracker: InFlightTracker, now: float, found: list
+    ) -> None:
+        """The incremental sweep: tracker state instead of a full walk.
+
+        Covers the duplicate-uid check (collisions were recorded at
+        insertion), the anti-starvation age bound (over the tracker's
+        live entries), and a consistency cross-check that the tracker
+        agrees with the buffers' own occupancy counters -- which is
+        what catches a missed hook, the one failure mode the
+        incremental path adds.  Credit sanity needs the per-channel
+        reservation counters and stays in the ``full`` walk.
+        """
+        if tracker.collisions:
+            for uid, prior, current in tracker.collisions:
+                found.append(InvariantViolation(
+                    now,
+                    "duplicate-in-flight",
+                    f"packet #{uid} buffered at node {current[0]}/"
+                    f"{current[1]} and at node {prior[0]}/{prior[1]}",
+                ))
+            tracker.collisions.clear()
+        buffered = sim.total_buffered_packets()
+        if len(tracker) != buffered:
+            found.append(InvariantViolation(
+                now,
+                "inflight-registry",
+                f"in-flight registry tracks {len(tracker)} packets but "
+                f"buffers hold {buffered}",
+            ))
+        max_wait = self.config.max_wait_cycles
+        if max_wait is not None:
+            for uid, (node, port_name, packet) in tracker.entries.items():
+                wait = now - packet.waiting_since
+                if wait > max_wait:
+                    found.append(InvariantViolation(
+                        now,
+                        "anti-starvation-age",
+                        f"packet #{uid} has waited {wait:.0f} cycles at "
+                        f"node {node}/{port_name} (bound {max_wait:.0f})",
+                    ))
 
     def _check_buffers(self, sim, now: float, found: list) -> None:
         """Duplicate uids, credit sanity and the age bound in one walk."""

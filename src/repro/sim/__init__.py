@@ -25,6 +25,11 @@ from repro.sim.observers import (
     PacketTracer,
     ThroughputTimeline,
 )
+from repro.sim.parallel import (
+    ParallelSweepRunner,
+    PointResult,
+    PointSpec,
+)
 from repro.sim.standalone import (
     StandaloneConfig,
     StandaloneRouterModel,
@@ -71,7 +76,10 @@ __all__ = [
     "NetworkConfig",
     "NetworkSimulator",
     "NetworkStats",
+    "ParallelSweepRunner",
     "PerfectShufflePattern",
+    "PointResult",
+    "PointSpec",
     "PoissonInjector",
     "ReservoirSampler",
     "RunningStats",

@@ -1,0 +1,373 @@
+"""Parallel sweep execution over the checkpoint journal.
+
+A load sweep is embarrassingly parallel: every (algorithm, rate) point
+is an independent simulation whose seed derives only from its config,
+and PR 2's :class:`~repro.resilience.SweepJournal` already treats each
+point as an independently checkpointed unit of work.  This module adds
+the missing piece -- a :class:`ParallelSweepRunner` that treats the
+journal as a shared work queue:
+
+* the **parent** claims the pending (algorithm, ``repr(rate)``) keys
+  (points whose latest journal record is not a success), submits one
+  picklable :class:`PointSpec` per key to a spawn-context
+  :class:`~concurrent.futures.ProcessPoolExecutor`, and splices
+  results back through the journal's resume path as they complete;
+* each **worker** reconstructs its resilience objects (fault injector,
+  invariant checker, watchdog) from their config specs, runs the point
+  with exactly the serial code path (:func:`repro.sim.sweep._run_point`
+  -- same seeding, same retry re-seeding), and writes its own
+  per-point telemetry trace file, so no two processes ever share a
+  sink;
+* the parent is the journal's **single writer**, so the JSONL file
+  stays line-atomic and a crashed parallel sweep resumes with
+  ``resume=True`` exactly like a crashed serial one.
+
+Determinism: a point's result depends only on its
+:class:`~repro.sim.config.SimulationConfig` (plus the attempt-indexed
+seed bumps), never on scheduling, so ``workers=N`` produces bitwise
+identical per-point stats to ``workers=1``.  Only the journal's line
+*order* differs (completion order instead of sweep order), which the
+latest-wins reader never observes.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.resilience.checkpoint import SweepJournal, rate_key
+from repro.resilience.faults import FaultConfig
+from repro.resilience.invariants import InvariantConfig
+from repro.resilience.watchdog import WatchdogConfig
+from repro.sim.config import SimulationConfig
+from repro.sim.metrics import BNFCurve, BNFPoint
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One unit of work, picklable across a spawn boundary.
+
+    Resilience settings travel as their *config* dataclasses; the
+    worker builds the live injector/checker/watchdog itself, because
+    those carry RNG state and open-ended references that must not leak
+    between points (and would not survive pickling meaningfully).
+    """
+
+    config: SimulationConfig
+    rate: float
+    telemetry_dir: str | None
+    collect_counters: bool
+    faults: FaultConfig | None
+    invariants: InvariantConfig | None
+    watchdog: WatchdogConfig | None
+    max_attempts: int
+    retry_backoff_s: float
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.config.algorithm, rate_key(self.rate))
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """What a worker sends back: a point, or the trail of failures."""
+
+    algorithm: str
+    rate: float
+    attempts: int
+    point: BNFPoint | None
+    resilience: dict | None
+    #: one pre-formatted ``"TypeName: message"`` per failed attempt, in
+    #: attempt order, so the parent can journal each failure exactly as
+    #: the serial runner would have.
+    failures: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.point is not None
+
+
+class WorkerPointFailure(RuntimeError):
+    """A point failed inside a worker; str() is the worker's last error."""
+
+
+def run_point_spec(spec: PointSpec) -> PointResult:
+    """Worker entry: run one sweep point with the serial retry loop.
+
+    Module-level (picklable by reference) and importing lazily, so a
+    spawn-context worker only pays the import once per process, not
+    per point.  Mirrors :func:`repro.sim.sweep.sweep_algorithm`'s
+    attempt loop exactly: retries sleep the same exponential backoff
+    and bump the same simulation/fault seeds.
+    """
+    from repro.sim.sweep import _point_telemetry, _run_point
+
+    failures: list[str] = []
+    for attempt in range(spec.max_attempts):
+        if attempt and spec.retry_backoff_s > 0:
+            time.sleep(spec.retry_backoff_s * 2 ** (attempt - 1))
+        telemetry = _point_telemetry(
+            spec.config.algorithm,
+            spec.rate,
+            spec.telemetry_dir,
+            spec.collect_counters,
+        )
+        try:
+            point, resilience = _run_point(
+                spec.config,
+                spec.rate,
+                telemetry,
+                None,
+                spec.faults,
+                spec.invariants,
+                spec.watchdog,
+                attempt,
+            )
+        except Exception as error:
+            failures.append(f"{type(error).__name__}: {error}")
+            continue
+        return PointResult(
+            algorithm=spec.config.algorithm,
+            rate=spec.rate,
+            attempts=attempt + 1,
+            point=point,
+            resilience=resilience,
+            failures=tuple(failures),
+        )
+    return PointResult(
+        algorithm=spec.config.algorithm,
+        rate=spec.rate,
+        attempts=spec.max_attempts,
+        point=None,
+        resilience=None,
+        failures=tuple(failures),
+    )
+
+
+class ParallelSweepRunner:
+    """Fan a (multi-)algorithm load sweep out over a process pool.
+
+    The public entry points are :meth:`run` (several algorithms, the
+    shape :func:`repro.sim.sweep.sweep_algorithms` needs) and
+    :meth:`run_algorithm` (a single curve).  ``workers=1`` is valid
+    but pointless -- the sweep functions only delegate here when
+    ``workers > 1``.
+    """
+
+    def __init__(self, workers: int, mp_context: str = "spawn") -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        #: spawn keeps workers free of inherited parent state (open
+        #: sinks, RNGs, the loaded journal), so per-point determinism
+        #: holds regardless of platform default start method.
+        self.mp_context = mp_context
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self,
+        config: SimulationConfig,
+        algorithms: Sequence[str],
+        rates: Sequence[float],
+        progress: Callable[[str], None] | None = None,
+        telemetry_dir: Path | str | None = None,
+        collect_counters: bool = False,
+        faults: FaultConfig | None = None,
+        invariants: InvariantConfig | None = None,
+        watchdog: WatchdogConfig | None = None,
+        journal: SweepJournal | None = None,
+        resume: bool = False,
+        max_attempts: int = 1,
+        retry_backoff_s: float = 0.0,
+    ) -> dict[str, BNFCurve]:
+        """Sweep every (algorithm, rate) pair through the pool.
+
+        All algorithms share one pool, so a slow algorithm's tail
+        overlaps the next algorithm's points instead of serializing
+        behind it.  Returns curves with points in ``rates`` order --
+        identical to the serial :func:`sweep_algorithms`.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        started = time.perf_counter()
+        completed: dict[tuple[str, str], BNFPoint] = {}
+        pending: list[PointSpec] = []
+        for algorithm in algorithms:
+            algo_config = config.with_algorithm(algorithm)
+            for rate in rates:
+                if resume and journal is not None:
+                    cached = journal.completed_point(algorithm, rate)
+                    if cached is not None:
+                        completed[(algorithm, rate_key(rate))] = cached
+                        if progress is not None:
+                            progress(
+                                f"{algorithm} rate={rate:.4g} -> resumed "
+                                f"from journal"
+                            )
+                        continue
+                pending.append(PointSpec(
+                    config=algo_config,
+                    rate=rate,
+                    telemetry_dir=(
+                        str(telemetry_dir) if telemetry_dir is not None else None
+                    ),
+                    collect_counters=collect_counters,
+                    faults=faults,
+                    invariants=invariants,
+                    watchdog=watchdog,
+                    max_attempts=max_attempts,
+                    retry_backoff_s=retry_backoff_s,
+                ))
+        if pending:
+            self._drain_pool(pending, completed, journal, progress, max_attempts)
+        if resume and journal is not None:
+            # A resumed sweep that reached this line replayed (or
+            # re-ran) every point, so the retry history is dead weight:
+            # rewrite the journal latest-wins.
+            journal.compact()
+        curves = {
+            algorithm: BNFCurve(
+                label=algorithm,
+                points=[
+                    completed[(algorithm, rate_key(rate))] for rate in rates
+                ],
+            )
+            for algorithm in algorithms
+        }
+        if telemetry_dir is not None:
+            self._write_sweep_manifest(
+                Path(telemetry_dir),
+                algorithms,
+                rates,
+                journal,
+                time.perf_counter() - started,
+                resumed=len(completed) - len(pending)
+                if resume and journal is not None
+                else 0,
+            )
+        return curves
+
+    def run_algorithm(
+        self,
+        config: SimulationConfig,
+        rates: Sequence[float],
+        **kwargs,
+    ) -> BNFCurve:
+        """Single-curve form (what ``sweep_algorithm(workers=N)`` uses)."""
+        curves = self.run(config, (config.algorithm,), rates, **kwargs)
+        return curves[config.algorithm]
+
+    # -- pool plumbing ---------------------------------------------------
+
+    def _drain_pool(
+        self,
+        pending: list[PointSpec],
+        completed: dict[tuple[str, str], BNFPoint],
+        journal: SweepJournal | None,
+        progress: Callable[[str], None] | None,
+        max_attempts: int,
+    ) -> None:
+        """Run the pending specs; journal results in completion order."""
+        from repro.sim.sweep import SweepPointError
+
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(run_point_spec, spec): spec for spec in pending
+            }
+            for future in as_completed(futures):
+                result: PointResult = future.result()
+                if journal is not None:
+                    for attempt, message in enumerate(result.failures, start=1):
+                        journal.record_failure(
+                            result.algorithm, result.rate, attempt, message
+                        )
+                if progress is not None:
+                    for attempt, message in enumerate(result.failures, start=1):
+                        progress(
+                            f"{result.algorithm} rate={result.rate:.4g} "
+                            f"attempt {attempt}/{max_attempts} failed: "
+                            f"{message}"
+                        )
+                if not result.ok:
+                    # Fail the sweep like the serial runner: everything
+                    # already journalled stays journalled, the rest is
+                    # abandoned (their futures are cancelled) and a
+                    # --resume rerun picks them up.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise SweepPointError(
+                        result.algorithm,
+                        result.rate,
+                        result.attempts,
+                        WorkerPointFailure(result.failures[-1]),
+                    )
+                if journal is not None:
+                    journal.record_success(
+                        result.algorithm,
+                        result.rate,
+                        result.point,
+                        attempts=result.attempts,
+                        resilience=result.resilience,
+                    )
+                completed[
+                    (result.algorithm, rate_key(result.rate))
+                ] = result.point
+                if progress is not None:
+                    progress(
+                        f"{result.algorithm} rate={result.rate:.4g} -> "
+                        f"thr={result.point.throughput:.3f} "
+                        f"flits/router/ns, "
+                        f"lat={result.point.latency_ns:.1f} ns"
+                    )
+
+    def _write_sweep_manifest(
+        self,
+        telemetry_dir: Path,
+        algorithms: Sequence[str],
+        rates: Sequence[float],
+        journal: SweepJournal | None,
+        wall_time_s: float,
+        resumed: int,
+    ) -> None:
+        """Merge the per-worker traces into one sweep-level manifest.
+
+        Workers each write their own per-point trace file (no sink is
+        ever shared across processes); this parent-side manifest is the
+        piece that ties them back together -- one JSON document mapping
+        every (algorithm, rate) to its trace file, alongside the pool
+        shape and wall time, so ``repro obs`` users and notebooks can
+        enumerate a parallel sweep's traces without globbing.
+        """
+        from repro.sim.sweep import trace_filename
+
+        points = [
+            {
+                "algorithm": algorithm,
+                "rate": rate,
+                "rate_key": rate_key(rate),
+                "trace": trace_filename(algorithm, rate),
+            }
+            for algorithm in algorithms
+            for rate in rates
+        ]
+        manifest = {
+            "kind": "parallel-sweep-manifest",
+            "workers": self.workers,
+            "mp_context": self.mp_context,
+            "wall_time_s": wall_time_s,
+            "resumed_points": resumed,
+            "journal": str(journal.path) if journal is not None else None,
+            "points": points,
+        }
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        path = telemetry_dir / "sweep_manifest.json"
+        path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")

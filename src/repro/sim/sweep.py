@@ -180,7 +180,7 @@ def _run_point(
     # run that cannot drain is a failure (deadlock), not a data point.
     drained = simulator.drain()
     if checker is not None:
-        checker.check_network(simulator)
+        checker.check_network(simulator, full=True)
         checker.raise_if_violated()
     if not drained:
         raise RuntimeError(
@@ -215,6 +215,7 @@ def sweep_algorithm(
     resume: bool = False,
     max_attempts: int = 1,
     retry_backoff_s: float = 0.0,
+    workers: int = 1,
 ) -> BNFCurve:
     """Run one algorithm over a set of offered loads.
 
@@ -249,9 +250,36 @@ def sweep_algorithm(
             is not replayed verbatim.
         retry_backoff_s: wall-clock sleep before attempt *n* grows as
             ``retry_backoff_s * 2**(n-1)`` (0 disables sleeping).
+        workers: with ``workers > 1`` the points run in a spawn-context
+            process pool (see :mod:`repro.sim.parallel`) with bitwise
+            identical per-point results; 1 (the default) keeps the
+            serial in-process path.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be at least 1")
+    if workers > 1:
+        if observer_factory is not None:
+            raise ValueError(
+                "observer_factory is not supported with workers > 1 "
+                "(observers cannot cross the process boundary); attach "
+                "telemetry instead or run serially"
+            )
+        from repro.sim.parallel import ParallelSweepRunner
+
+        return ParallelSweepRunner(workers=workers).run_algorithm(
+            config,
+            rates,
+            progress=progress,
+            telemetry_dir=telemetry_dir,
+            collect_counters=collect_counters,
+            faults=faults,
+            invariants=invariants,
+            watchdog=watchdog,
+            journal=journal,
+            resume=resume,
+            max_attempts=max_attempts,
+            retry_backoff_s=retry_backoff_s,
+        )
     curve = BNFCurve(label=config.algorithm)
     for rate in rates:
         if resume and journal is not None:
@@ -317,6 +345,10 @@ def sweep_algorithm(
                 f"thr={point.throughput:.3f} flits/router/ns, "
                 f"lat={point.latency_ns:.1f} ns"
             )
+    if resume and journal is not None:
+        # The sweep finished with every point journalled as a success;
+        # retry history is now dead weight, so rewrite latest-wins.
+        journal.compact()
     return curve
 
 
@@ -334,8 +366,33 @@ def sweep_algorithms(
     resume: bool = False,
     max_attempts: int = 1,
     retry_backoff_s: float = 0.0,
+    workers: int = 1,
 ) -> dict[str, BNFCurve]:
-    """Run several algorithms over the same loads (one Figure 10 panel)."""
+    """Run several algorithms over the same loads (one Figure 10 panel).
+
+    With ``workers > 1`` every (algorithm, rate) point of the whole
+    panel is fanned out over one shared process pool (see
+    :mod:`repro.sim.parallel`), so a slow algorithm's saturation tail
+    overlaps the next algorithm's points instead of serializing.
+    """
+    if workers > 1:
+        from repro.sim.parallel import ParallelSweepRunner
+
+        return ParallelSweepRunner(workers=workers).run(
+            config,
+            algorithms,
+            rates,
+            progress=progress,
+            telemetry_dir=telemetry_dir,
+            collect_counters=collect_counters,
+            faults=faults,
+            invariants=invariants,
+            watchdog=watchdog,
+            journal=journal,
+            resume=resume,
+            max_attempts=max_attempts,
+            retry_backoff_s=retry_backoff_s,
+        )
     return {
         algorithm: sweep_algorithm(
             config.with_algorithm(algorithm),

@@ -39,7 +39,11 @@ from repro.resilience.faults import (
     FaultConfig,
     FaultInjector,
 )
-from repro.resilience.invariants import InvariantChecker, InvariantConfig
+from repro.resilience.invariants import (
+    InFlightTracker,
+    InvariantChecker,
+    InvariantConfig,
+)
 from repro.resilience.watchdog import ProgressWatchdog, WatchdogConfig
 from repro.router.ports import (
     InputPort,
@@ -78,6 +82,7 @@ class NetworkSimulator:
         faults: FaultConfig | FaultInjector | None = None,
         invariants: InvariantConfig | InvariantChecker | None = None,
         watchdog: WatchdogConfig | ProgressWatchdog | None = None,
+        finalize_at_drain: bool = False,
     ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -90,6 +95,15 @@ class NetworkSimulator:
         self.faults = faults
         self.invariants = invariants
         self.watchdog = watchdog
+        #: keep the telemetry sink open through :meth:`drain` even for
+        #: unguarded runs, so drain-warn/drain-time diagnostics land in
+        #: the trace; guarded runs always behave this way.
+        self.finalize_at_drain = finalize_at_drain
+        #: incremental in-flight uid registry (duplicate/age checks in
+        #: O(buffered) instead of a full buffer walk); only maintained
+        #: when an invariant checker is attached, so the unguarded hot
+        #: path pays a single ``is None`` test per transition.
+        self._inflight = InFlightTracker() if invariants is not None else None
         #: whole-run packet accounting (the conservation invariant's
         #: ground truth; window-relative figures live in ``stats``).
         self.total_injected = 0
@@ -254,15 +268,16 @@ class NetworkSimulator:
             )
         self.queue.run_until(self._window_end)
         if self.invariants is not None:
-            self.invariants.check_network(self)
+            self.invariants.check_network(self, full=True)
         self.stats.window_ns = (
             self.config.measure_cycles * self.clocks.cycle_ns
         )
         self.stats.transactions_aborted = self.engine.transactions_aborted
-        # Guarded runs are expected to be drained afterwards, and the
-        # interesting diagnostics (drain-warn, drain-time watchdog
-        # fires) happen there -- keep the sink open until then.
-        if tel.enabled and not self._guarded():
+        # Guarded runs (and runs built with finalize_at_drain) are
+        # expected to be drained afterwards, and the interesting
+        # diagnostics (drain-warn, drain-time watchdog fires) happen
+        # there -- keep the sink open until then.
+        if tel.enabled and not (self._guarded() or self.finalize_at_drain):
             self._finalize_telemetry()
         return self.stats
 
@@ -364,10 +379,13 @@ class NetworkSimulator:
             return
         router = self.routers[node]
         buffer = router.buffers[port]
+        tracker = self._inflight
         drained = 0
         for packet in queue:
             if not buffer.inject(packet, entry_channel(packet.pclass)):
                 break
+            if tracker is not None:
+                tracker.add(packet, node, port)
             drained += 1
         if drained:
             del queue[:drained]
@@ -446,6 +464,10 @@ class NetworkSimulator:
     def _apply_dispatch(self, router: Router, dispatch: Dispatch) -> None:
         now = self.queue.now
         plan = dispatch.plan
+        if self._inflight is not None:
+            # The grant removed the packet from its input buffer
+            # (Router.resolve); it is now in transit or sinking.
+            self._inflight.discard(dispatch.packet)
         if self._observers:
             for observer in self._observers:
                 observer.on_dispatch(self, router, dispatch)
@@ -503,6 +525,8 @@ class NetworkSimulator:
         began = tel.profiler.begin() if tel.profiling else 0.0
         self.packets_in_transit -= 1
         router.buffers[port].commit(packet, channel)
+        if self._inflight is not None:
+            self._inflight.add(packet, router.node, port)
         packet.waiting_since = self.queue.now
         if tel.profiling:
             tel.profiler.add("traversal", began)
@@ -549,6 +573,11 @@ class NetworkSimulator:
     ) -> None:
         """Remove a packet from the accounting, with its reason."""
         router.buffers[port].cancel_reservation(channel)
+        if self._inflight is not None:
+            # Dropped packets die on the link (never buffered here);
+            # the discard is a defensive no-op that keeps the registry
+            # honest if drop semantics ever change.
+            self._inflight.discard(packet)
         self.packets_in_transit -= 1
         self.total_dropped += 1
         self.stats.packets_dropped += 1

@@ -190,3 +190,62 @@ class TestNetworkRowsHelper:
     def test_rows_cover_network_ports_only(self):
         rows = network_rows()
         assert rows and all(isinstance(r, int) for r in rows)
+
+
+class TestFinalizeAtDrain:
+    """Drain-time diagnostics must reach unguarded traces when asked.
+
+    The old behavior (still the default) finalizes -- and closes the
+    sink of -- an unguarded run at the end of ``run()``, so anything a
+    later ``drain()`` emits (the ``drain-warn`` deadlock diagnostic)
+    was silently dropped.  ``finalize_at_drain=True`` keeps the sink
+    open through ``drain()``.
+    """
+
+    @staticmethod
+    def congested_config():
+        # Saturating load: work is guaranteed to be outstanding at the
+        # window's end, so a zero-budget drain cannot quiesce.
+        return small_config(
+            traffic=TrafficConfig(injection_rate=0.5), measure_cycles=500
+        )
+
+    def test_default_unguarded_run_closes_the_sink_at_run_end(self):
+        sink = MemorySink()
+        sim = NetworkSimulator(
+            self.congested_config(), telemetry=Telemetry(sink=sink)
+        )
+        sim.run()
+        assert sink.closed
+        # The documented loss mode: the drain warning never lands.
+        assert sim.drain(max_extra_cycles=0.0) is False
+        assert sink.by_kind("drain-warn") == []
+
+    def test_finalize_at_drain_keeps_the_sink_open_through_drain(self):
+        sink = MemorySink()
+        sim = NetworkSimulator(
+            self.congested_config(),
+            telemetry=Telemetry(sink=sink),
+            finalize_at_drain=True,
+        )
+        sim.run()
+        assert not sink.closed, "run() must not finalize early"
+        assert sim.drain(max_extra_cycles=0.0) is False
+        (warning,) = sink.by_kind("drain-warn")
+        assert warning["buffered"] + warning["pending"] + warning["in_transit"] > 0
+        # drain() finalized: footer written, sink closed.
+        assert sink.closed
+        assert sink.by_kind("run-end")
+
+    def test_clean_drain_still_finalizes_without_warning(self):
+        sink = MemorySink()
+        sim = NetworkSimulator(
+            small_config(),
+            telemetry=Telemetry(sink=sink),
+            finalize_at_drain=True,
+        )
+        sim.run()
+        assert sim.drain() is True
+        assert sink.closed
+        assert sink.by_kind("drain-warn") == []
+        assert sink.by_kind("run-end")

@@ -94,6 +94,90 @@ class TestSweepJournal:
         assert math.isnan(restored.transaction_latency_ns)
 
 
+class TestCompaction:
+    def test_compact_drops_superseded_records(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_failure("PIM1", 0.02, attempt=1, error="boom")
+        journal.record_failure("PIM1", 0.02, attempt=2, error="boom again")
+        journal.record_success("PIM1", 0.02, sample_point(0.02), attempts=3)
+        journal.record_success("WFA-base", 0.02, sample_point(0.02))
+        assert journal.compact() == 2
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["status"] == "ok" for line in lines)
+
+    def test_compact_replays_to_the_same_state(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_failure("PIM1", 0.02, attempt=1, error="flaky")
+        journal.record_success("PIM1", 0.02, sample_point(0.02), attempts=2)
+        journal.record_failure("SPAA-base", 0.045, attempt=1, error="dead")
+        before = SweepJournal(journal.path)
+        before_point = before.completed_point("PIM1", 0.02)
+        before_failures = before.failures()
+        journal.compact()
+        after = SweepJournal(journal.path)
+        assert after.completed_point("PIM1", 0.02).as_dict() == (
+            before_point.as_dict()
+        )
+        assert after.failures() == before_failures
+        assert after.completed_count() == 1
+
+    def test_compact_is_a_noop_when_nothing_to_drop(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_success("PIM1", 0.02, sample_point(0.02))
+        text_before = journal.path.read_text()
+        assert journal.compact() == 0
+        assert journal.path.read_text() == text_before
+
+    def test_compact_on_a_missing_file_is_safe(self, tmp_path):
+        assert SweepJournal(tmp_path / "absent.jsonl").compact() == 0
+
+    def test_compacted_journal_preserves_resume_semantics(self, tmp_path):
+        """A retried-then-compacted journal resumes exactly like the
+        uncompacted one: completed points splice, failed points re-run."""
+        journal_path = tmp_path / "sweep.jsonl"
+        invariants = InvariantConfig(
+            check_interval_cycles=100.0, max_wait_cycles=1e-9
+        )
+        with pytest.raises(SweepPointError):
+            sweep_algorithm(
+                tiny_config(),
+                rates=(0.005, 0.02),
+                invariants=invariants,
+                journal=SweepJournal(journal_path),
+                max_attempts=2,
+            )
+        full = sweep_algorithm(
+            tiny_config(),
+            rates=(0.005,),
+            journal=SweepJournal(journal_path),
+        )
+        SweepJournal(journal_path).compact()
+        resumed = sweep_algorithm(
+            tiny_config(),
+            rates=(0.005, 0.02),
+            journal=SweepJournal(journal_path),
+            resume=True,
+        )
+        assert resumed.points[0].as_dict() == full.points[0].as_dict()
+        assert [p.offered_rate for p in resumed.points] == [0.005, 0.02]
+
+    def test_successful_resume_compacts_the_journal(self, tmp_path):
+        """The sweep runners call compact() after a completed resume."""
+        journal_path = tmp_path / "sweep.jsonl"
+        journal = SweepJournal(journal_path)
+        journal.record_failure("PIM1", 0.005, attempt=1, error="flaky once")
+        sweep_algorithm(
+            tiny_config().with_algorithm("PIM1"),
+            rates=(0.005,),
+            journal=journal,
+            resume=True,
+        )
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["status"] == "ok"
+
+
 class TestSweepResume:
     def test_resume_splices_journalled_points(self, tmp_path):
         journal_path = tmp_path / "sweep.jsonl"

@@ -5,6 +5,7 @@ import pytest
 from repro.core.types import Grant, Nomination, SourceKind
 from repro.resilience.invariants import (
     ArbitrationInvariants,
+    InFlightTracker,
     InvariantChecker,
     InvariantConfig,
     InvariantViolationError,
@@ -86,6 +87,113 @@ class TestViolationDetection:
         with pytest.raises(InvariantViolationError) as excinfo:
             checker.raise_if_violated()
         assert "packet-conservation" in str(excinfo.value)
+
+
+class TestInFlightTracker:
+    """The incremental checker path (tracker instead of full walks)."""
+
+    @staticmethod
+    def fake_packet(uid: int, waiting_since: float = 0.0):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(uid=uid, waiting_since=waiting_since)
+
+    @staticmethod
+    def fake_port(name: str = "E-in"):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(name=name)
+
+    @staticmethod
+    def fake_sim(buffered: int):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            now=0.0, total_buffered_packets=lambda: buffered
+        )
+
+    def test_add_discard_len(self):
+        tracker = InFlightTracker()
+        packet = self.fake_packet(7)
+        tracker.add(packet, node=3, port=self.fake_port())
+        assert len(tracker) == 1
+        tracker.discard(packet)
+        assert len(tracker) == 0
+        tracker.discard(packet)  # idempotent
+        assert not tracker.collisions
+
+    def test_double_add_records_a_collision(self):
+        tracker = InFlightTracker()
+        packet = self.fake_packet(7)
+        tracker.add(packet, node=3, port=self.fake_port("E-in"))
+        tracker.add(packet, node=5, port=self.fake_port("W-in"))
+        assert tracker.collisions == [(7, (3, "E-in"), (5, "W-in"))]
+        # The registry holds one entry; the collision is the evidence.
+        assert len(tracker) == 1
+
+    def test_collision_surfaces_as_duplicate_violation(self):
+        tracker = InFlightTracker()
+        packet = self.fake_packet(7)
+        tracker.add(packet, node=3, port=self.fake_port("E-in"))
+        tracker.add(packet, node=5, port=self.fake_port("W-in"))
+        checker = InvariantChecker()
+        found: list = []
+        checker._check_tracker(self.fake_sim(buffered=1), tracker, 0.0, found)
+        assert any(v.name == "duplicate-in-flight" for v in found)
+        assert not tracker.collisions, "collisions must clear once reported"
+
+    def test_registry_buffer_mismatch_detected(self):
+        tracker = InFlightTracker()
+        tracker.add(self.fake_packet(1), node=0, port=self.fake_port())
+        checker = InvariantChecker()
+        found: list = []
+        checker._check_tracker(self.fake_sim(buffered=3), tracker, 0.0, found)
+        assert any(v.name == "inflight-registry" for v in found)
+
+    def test_age_bound_checked_incrementally(self):
+        tracker = InFlightTracker()
+        tracker.add(
+            self.fake_packet(1, waiting_since=0.0),
+            node=0,
+            port=self.fake_port(),
+        )
+        checker = InvariantChecker(InvariantConfig(max_wait_cycles=100.0))
+        found: list = []
+        checker._check_tracker(
+            self.fake_sim(buffered=1), tracker, 500.0, found
+        )
+        assert any(v.name == "anti-starvation-age" for v in found)
+
+    def test_guarded_simulator_maintains_a_tracker(self, tiny_config):
+        guarded = NetworkSimulator(tiny_config, invariants=InvariantChecker())
+        assert guarded._inflight is not None
+        unguarded = NetworkSimulator(tiny_config)
+        assert unguarded._inflight is None
+
+    def test_incremental_and_full_agree_on_a_clean_run(self, quad_config):
+        """Same verdict from both paths at identical sim states."""
+        checker = InvariantChecker(InvariantConfig(check_interval_cycles=250.0))
+        sim = NetworkSimulator(quad_config, invariants=checker)
+        sim.run()
+        # Mid-drain state: packets still buffered, both paths clean.
+        incremental = checker.check_network(sim)
+        exhaustive = checker.check_network(sim, full=True)
+        assert incremental == [] and exhaustive == []
+        assert sim.drain()
+        assert len(sim._inflight) == 0
+        assert checker.clean
+
+    def test_tracker_desync_is_caught_by_the_periodic_sweep(self, tiny_config):
+        """A phantom registry entry (a 'missed hook') trips the check."""
+        checker = InvariantChecker()
+        sim = NetworkSimulator(tiny_config, invariants=checker)
+        sim.run()
+        sim.drain()
+        sim._inflight.add(
+            self.fake_packet(10**9), node=0, port=self.fake_port()
+        )
+        found = checker.check_network(sim)
+        assert any(v.name == "inflight-registry" for v in found)
 
 
 class TestArbitrationInvariants:

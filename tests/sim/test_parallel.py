@@ -1,0 +1,139 @@
+"""Parallel sweep runner: parity with serial, plumbing, failure modes.
+
+The heavyweight guarantee -- ``workers=N`` produces bitwise identical
+per-point stats to ``workers=1`` for every timing algorithm -- lives
+here; the journal-as-work-queue behaviors (resume, compaction, kill
+recovery) are covered in ``tests/resilience/test_parallel_sweep.py``
+so the resilience CI slice exercises them.
+"""
+
+import json
+
+import pytest
+
+from repro.core.registry import TIMING_ALGORITHMS
+from repro.sim.config import NetworkConfig, SimulationConfig, TrafficConfig
+from repro.sim.parallel import ParallelSweepRunner, PointSpec, run_point_spec
+from repro.sim.sweep import (
+    SweepPointError,
+    sweep_algorithm,
+    sweep_algorithms,
+)
+
+RATES = (0.005, 0.02)
+
+
+def tiny_config(seed: int = 3) -> SimulationConfig:
+    return SimulationConfig(
+        network=NetworkConfig(width=2, height=2),
+        traffic=TrafficConfig(injection_rate=0.01),
+        warmup_cycles=200,
+        measure_cycles=800,
+        seed=seed,
+    )
+
+
+class TestParity:
+    def test_two_workers_match_serial_for_every_algorithm(self):
+        """Acceptance: parallel == serial, bitwise, all algorithms."""
+        config = tiny_config()
+        serial = sweep_algorithms(config, TIMING_ALGORITHMS, RATES)
+        parallel = sweep_algorithms(
+            config, TIMING_ALGORITHMS, RATES, workers=2
+        )
+        assert set(parallel) == set(serial)
+        for algorithm in TIMING_ALGORITHMS:
+            assert [p.as_dict() for p in parallel[algorithm].points] == [
+                p.as_dict() for p in serial[algorithm].points
+            ], algorithm
+
+    def test_single_algorithm_entry_point(self):
+        config = tiny_config()
+        serial = sweep_algorithm(config, RATES)
+        parallel = sweep_algorithm(config, RATES, workers=2)
+        assert parallel.label == serial.label
+        assert [p.as_dict() for p in parallel.points] == [
+            p.as_dict() for p in serial.points
+        ]
+
+    def test_counters_survive_the_process_boundary(self):
+        """collect_counters pickles the BNFPoint counters back intact."""
+        config = tiny_config()
+        serial = sweep_algorithm(config, (0.02,), collect_counters=True)
+        parallel = sweep_algorithm(
+            config, (0.02,), collect_counters=True, workers=2
+        )
+        assert parallel.points[0].counters == serial.points[0].counters
+        assert parallel.points[0].counters  # non-empty, not just equal
+
+
+class TestPlumbing:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelSweepRunner(workers=0)
+
+    def test_observer_factory_rejected_in_parallel(self):
+        with pytest.raises(ValueError, match="observer_factory"):
+            sweep_algorithm(
+                tiny_config(),
+                RATES,
+                observer_factory=lambda algorithm, rate: [],
+                workers=2,
+            )
+
+    def test_point_spec_is_picklable_and_runs_in_process(self):
+        """run_point_spec is the worker entry; exercise it directly."""
+        import pickle
+
+        spec = PointSpec(
+            config=tiny_config(),
+            rate=0.02,
+            telemetry_dir=None,
+            collect_counters=False,
+            faults=None,
+            invariants=None,
+            watchdog=None,
+            max_attempts=1,
+            retry_backoff_s=0.0,
+        )
+        restored = pickle.loads(pickle.dumps(spec))
+        result = run_point_spec(restored)
+        assert result.ok
+        assert result.attempts == 1
+        assert result.algorithm == spec.config.algorithm
+
+    def test_per_point_traces_and_sweep_manifest(self, tmp_path):
+        sweep_algorithms(
+            tiny_config(), ("PIM1", "SPAA-base"), (0.02,),
+            telemetry_dir=tmp_path, workers=2,
+        )
+        assert (tmp_path / "PIM1_rate0.02.jsonl").exists()
+        assert (tmp_path / "SPAA-base_rate0.02.jsonl").exists()
+        manifest = json.loads((tmp_path / "sweep_manifest.json").read_text())
+        assert manifest["kind"] == "parallel-sweep-manifest"
+        assert manifest["workers"] == 2
+        assert {p["trace"] for p in manifest["points"]} == {
+            "PIM1_rate0.02.jsonl", "SPAA-base_rate0.02.jsonl",
+        }
+
+
+class TestFailurePropagation:
+    def test_worker_failure_raises_sweep_point_error(self):
+        """A point that fails in a worker fails the sweep like serial."""
+        from repro.resilience.invariants import InvariantConfig
+
+        # An impossible age bound: every buffered packet is instantly
+        # "too old", so every attempt fails inside the worker.
+        invariants = InvariantConfig(
+            check_interval_cycles=100.0, max_wait_cycles=1e-9
+        )
+        with pytest.raises(SweepPointError) as excinfo:
+            sweep_algorithm(
+                tiny_config(),
+                (0.02,),
+                invariants=invariants,
+                max_attempts=2,
+                workers=2,
+            )
+        assert excinfo.value.attempts == 2
+        assert "invariant" in str(excinfo.value)
