@@ -1,0 +1,68 @@
+"""Chaos-harness cost: generation is instant, campaigns stay small.
+
+Scenario generation is pure bookkeeping over one ``random.Random`` --
+thousands per second -- so campaigns can regenerate their scenario
+list on every run/resume instead of persisting it.  The campaign bench
+times one tiny seeded campaign end to end (run + journal + manifest)
+and re-checks the determinism contract while it is at it: a second
+serial run of the same seed must produce a byte-identical manifest.
+
+Chaos stays strictly opt-in: nothing here touches the timing model's
+hot paths, and the <2% detached-hooks gate lives unchanged in
+``bench_resilience_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.chaos import (
+    CampaignConfig,
+    ScenarioSpace,
+    generate_scenarios,
+    run_campaign,
+)
+
+
+def test_scenario_generation_is_cheap():
+    started = time.perf_counter()
+    scenarios = generate_scenarios(7, 1_000)
+    elapsed = time.perf_counter() - started
+    rate = len(scenarios) / elapsed
+    print(f"\nscenario generation: {rate:,.0f} scenarios/s")
+    assert rate > 5_000, (
+        f"generating scenarios hit {rate:,.0f}/s; regeneration on "
+        "resume assumes this is effectively free"
+    )
+    # Regeneration must also be exact, or resume would re-run points.
+    assert scenarios == generate_scenarios(7, 1_000)
+
+
+def test_tiny_campaign_wall_time_and_determinism(tmp_path):
+    def run_once(name: str):
+        config = CampaignConfig(
+            output_dir=tmp_path / name,
+            seed=11,
+            count=4,
+            space=ScenarioSpace.smoke(),
+            traces=False,
+        )
+        started = time.perf_counter()
+        result = run_campaign(config)
+        return result, time.perf_counter() - started
+
+    first, elapsed = run_once("a")
+    second, _ = run_once("b")
+    per_scenario = elapsed / len(first.scenarios)
+    print(
+        f"\ntiny campaign: {elapsed:.2f}s for {len(first.scenarios)} "
+        f"scenario(s) ({per_scenario:.2f}s each), "
+        f"totals {first.status_totals()}"
+    )
+    assert first.crashed == [], "a smoke campaign must not crash the harness"
+    assert first.manifest_path.read_bytes() == (
+        second.manifest_path.read_bytes()
+    ), "same seed, same manifest -- the determinism contract"
+    # Generous ceiling: smoke scenarios are sub-second; a blowup here
+    # means scenario sizing regressed, not that the machine is slow.
+    assert per_scenario < 20.0

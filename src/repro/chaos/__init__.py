@@ -1,0 +1,64 @@
+"""Chaos campaign harness: randomized fault scenarios, deterministic
+replay bundles, and automatic failure shrinking.
+
+One campaign seed generates a reproducible list of adversarial
+scenarios (:mod:`repro.chaos.scenario`) -- fault rates, stall
+schedules, grant suppression, traffic patterns and algorithm choices
+over both the timing torus and the standalone matching model.  The
+campaign (:mod:`repro.chaos.campaign`) runs them with the invariant
+checker and progress watchdog always armed, checkpointing into the
+same :class:`~repro.resilience.SweepJournal` machinery the figure
+sweeps use; every failure is captured as a self-contained replay
+bundle (:mod:`repro.chaos.replay`) that re-executes bitwise
+identically, and shrinks to a minimal reproducer
+(:mod:`repro.chaos.shrink`).  ``repro-experiments chaos`` is the CLI
+face (:mod:`repro.chaos.cli`); docs/chaos.md is the narrative.
+"""
+
+from repro.chaos.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    campaign_scenarios,
+    run_campaign,
+)
+from repro.chaos.replay import (
+    ReplayResult,
+    load_bundle,
+    replay_bundle,
+    write_bundle,
+)
+from repro.chaos.runner import ScenarioOutcome, run_scenario
+from repro.chaos.scenario import (
+    ChaosScenario,
+    INJECTED_DEADLOCK_NAME,
+    ScenarioSpace,
+    active_fault_dimensions,
+    disable_dimension,
+    fault_schedule_digest,
+    generate_scenarios,
+    injected_deadlock_scenario,
+)
+from repro.chaos.shrink import shrink_scenario, write_minimal
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "ChaosScenario",
+    "INJECTED_DEADLOCK_NAME",
+    "ReplayResult",
+    "ScenarioOutcome",
+    "ScenarioSpace",
+    "active_fault_dimensions",
+    "campaign_scenarios",
+    "disable_dimension",
+    "fault_schedule_digest",
+    "generate_scenarios",
+    "injected_deadlock_scenario",
+    "load_bundle",
+    "replay_bundle",
+    "run_campaign",
+    "run_scenario",
+    "shrink_scenario",
+    "write_bundle",
+    "write_minimal",
+]

@@ -1,0 +1,312 @@
+"""Running a scenario list as a checkpointed, resumable campaign.
+
+The campaign rides the existing resilience machinery: completed
+scenarios checkpoint into a :class:`~repro.resilience.SweepJournal`
+(keyed ``(scenario_id, float(index))`` via its generic outcome API) so
+a killed campaign resumes where it stopped; ``workers > 1`` fans
+scenarios over a spawn-context process pool with the parent as the
+single journal writer, mirroring
+:class:`~repro.sim.parallel.ParallelSweepRunner`.  Every failing
+scenario is captured as a self-contained replay bundle (and optionally
+shrunk to a minimal reproducer) the moment the campaign sees it.
+
+The campaign manifest (``campaign_manifest.json``) is deliberately
+free of wall-clock anything: the same campaign seed must produce a
+byte-identical manifest across runs, worker counts and machines --
+that file *is* the determinism contract the tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Callable
+
+from repro.chaos.replay import write_bundle
+from repro.chaos.runner import ScenarioOutcome, run_scenario
+from repro.chaos.scenario import (
+    ChaosScenario,
+    ScenarioSpace,
+    generate_scenarios,
+    injected_deadlock_scenario,
+)
+from repro.chaos.shrink import shrink_scenario, write_minimal
+from repro.resilience.checkpoint import SweepJournal
+
+CAMPAIGN_SCHEMA = 1
+
+#: manifest filename inside the campaign output directory.
+MANIFEST_NAME = "campaign_manifest.json"
+JOURNAL_NAME = "campaign.journal.jsonl"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One chaos campaign: what to generate, where to put the evidence."""
+
+    output_dir: Path
+    seed: int = 0
+    count: int = 20
+    space: ScenarioSpace = field(default_factory=ScenarioSpace)
+    include_standalone: bool = True
+    #: append the guaranteed-deadlock scenario (CI's capture-path probe).
+    inject_deadlock: bool = False
+    workers: int = 1
+    resume: bool = False
+    #: delta-debug every (non-crash) failure down to a minimal reproducer.
+    shrink_failures: bool = False
+    #: write one JSONL telemetry trace per scenario under ``traces/``.
+    traces: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+
+    def count_total(self) -> int:
+        """Scenarios per run, the injected-deadlock probe included."""
+        return self.count + (1 if self.inject_deadlock else 0)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a caller needs after :func:`run_campaign` returns."""
+
+    scenarios: list[ChaosScenario]
+    outcomes: dict[int, ScenarioOutcome]
+    #: failing scenarios, in index order: (scenario, outcome, bundle path).
+    failures: list[tuple[ChaosScenario, ScenarioOutcome, Path]]
+    manifest_path: Path
+    resumed: int = 0
+
+    @property
+    def crashed(self) -> list[tuple[ChaosScenario, ScenarioOutcome, Path]]:
+        """Harness-level failures (the only ones that fail a campaign)."""
+        return [entry for entry in self.failures if entry[1].status == "crash"]
+
+    def status_totals(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for outcome in self.outcomes.values():
+            totals[outcome.status] = totals.get(outcome.status, 0) + 1
+        return dict(sorted(totals.items()))
+
+
+def campaign_scenarios(config: CampaignConfig) -> list[ChaosScenario]:
+    """The campaign's full scenario list (pure; shared with resume)."""
+    scenarios = generate_scenarios(
+        config.seed,
+        config.count,
+        space=config.space,
+        include_standalone=config.include_standalone,
+    )
+    if config.inject_deadlock:
+        scenarios.append(
+            injected_deadlock_scenario(len(scenarios), config.space)
+        )
+    return scenarios
+
+
+def _trace_path(config: CampaignConfig, scenario: ChaosScenario) -> str | None:
+    if not config.traces:
+        return None
+    return str(
+        Path(config.output_dir) / "traces" / f"{scenario.scenario_id}.jsonl"
+    )
+
+
+def _run_serial(
+    config: CampaignConfig,
+    todo: list[ChaosScenario],
+    journal: SweepJournal,
+    outcomes: dict[int, ScenarioOutcome],
+    progress: Callable[[str], None] | None,
+) -> None:
+    for scenario in todo:
+        outcome = run_scenario(scenario, _trace_path(config, scenario))
+        journal.record_outcome(
+            scenario.scenario_id, float(scenario.index), outcome.as_dict()
+        )
+        outcomes[scenario.index] = outcome
+        if progress is not None:
+            progress(
+                f"[{scenario.index + 1}/{config.count_total()}] "
+                f"{scenario.scenario_id} ({scenario.kind}, "
+                f"{scenario.algorithm}) -> {outcome.status}"
+            )
+
+
+def _run_pool(
+    config: CampaignConfig,
+    todo: list[ChaosScenario],
+    journal: SweepJournal,
+    outcomes: dict[int, ScenarioOutcome],
+    progress: Callable[[str], None] | None,
+) -> None:
+    """Fan scenarios over spawn workers; the parent owns the journal.
+
+    A worker that dies (or a scenario whose pickle round-trip breaks)
+    surfaces as that scenario's ``crash`` outcome rather than killing
+    the campaign: chaos harnesses must outlive the chaos.
+    """
+    pool = ProcessPoolExecutor(
+        max_workers=config.workers, mp_context=get_context("spawn")
+    )
+    try:
+        pending = {
+            pool.submit(
+                run_scenario, scenario, _trace_path(config, scenario)
+            ): scenario
+            for scenario in todo
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                scenario = pending.pop(future)
+                try:
+                    outcome = future.result()
+                except Exception as error:
+                    outcome = ScenarioOutcome(
+                        scenario_id=scenario.scenario_id,
+                        status="crash",
+                        detail=f"worker failure: {type(error).__name__}: {error}",
+                    )
+                journal.record_outcome(
+                    scenario.scenario_id,
+                    float(scenario.index),
+                    outcome.as_dict(),
+                )
+                outcomes[scenario.index] = outcome
+                if progress is not None:
+                    progress(
+                        f"[{len(outcomes)}/{config.count_total()}] "
+                        f"{scenario.scenario_id} ({scenario.kind}, "
+                        f"{scenario.algorithm}) -> {outcome.status}"
+                    )
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Generate, run, checkpoint, capture and report one campaign."""
+    output_dir = Path(config.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    scenarios = campaign_scenarios(config)
+    journal = SweepJournal(output_dir / JOURNAL_NAME)
+    outcomes: dict[int, ScenarioOutcome] = {}
+    resumed = 0
+    todo: list[ChaosScenario] = []
+    for scenario in scenarios:
+        if config.resume:
+            cached = journal.outcome_for(
+                scenario.scenario_id, float(scenario.index)
+            )
+            if cached is not None:
+                outcomes[scenario.index] = ScenarioOutcome.from_dict(cached)
+                resumed += 1
+                continue
+        todo.append(scenario)
+    if progress is not None and resumed:
+        progress(f"resumed {resumed} scenario(s) from the journal")
+    if config.workers > 1 and len(todo) > 1:
+        _run_pool(config, todo, journal, outcomes, progress)
+    else:
+        _run_serial(config, todo, journal, outcomes, progress)
+
+    failures: list[tuple[ChaosScenario, ScenarioOutcome, Path]] = []
+    campaign_info = {
+        "seed": config.seed,
+        "count": config.count,
+        "include_standalone": config.include_standalone,
+        "inject_deadlock": config.inject_deadlock,
+    }
+    for scenario in scenarios:
+        outcome = outcomes[scenario.index]
+        if not outcome.failed:
+            continue
+        bundle = write_bundle(
+            output_dir / "bundles",
+            scenario,
+            outcome,
+            trace_path=_trace_path(config, scenario),
+            campaign=campaign_info,
+        )
+        if config.shrink_failures and outcome.status != "crash":
+            if progress is not None:
+                progress(f"shrinking {scenario.scenario_id} ...")
+            minimal, steps = shrink_scenario(
+                scenario, target_status=outcome.status
+            )
+            write_minimal(bundle.parent, minimal, steps, outcome.status)
+        failures.append((scenario, outcome, bundle))
+        if progress is not None:
+            progress(
+                f"captured {scenario.scenario_id} ({outcome.status}) -> "
+                f"{bundle}"
+            )
+    manifest_path = _write_manifest(
+        output_dir, config, scenarios, outcomes, failures
+    )
+    return CampaignResult(
+        scenarios=scenarios,
+        outcomes=outcomes,
+        failures=failures,
+        manifest_path=manifest_path,
+        resumed=resumed,
+    )
+
+
+def _write_manifest(
+    output_dir: Path,
+    config: CampaignConfig,
+    scenarios: list[ChaosScenario],
+    outcomes: dict[int, ScenarioOutcome],
+    failures: list[tuple[ChaosScenario, ScenarioOutcome, Path]],
+) -> Path:
+    """The campaign's deterministic summary (paths relative to it)."""
+    bundle_by_index = {
+        scenario.index: bundle for scenario, _, bundle in failures
+    }
+    entries = []
+    for scenario in scenarios:
+        outcome = outcomes[scenario.index]
+        bundle = bundle_by_index.get(scenario.index)
+        entries.append({
+            "index": scenario.index,
+            "scenario_id": scenario.scenario_id,
+            "scenario_digest": scenario.digest(),
+            "kind": scenario.kind,
+            "algorithm": scenario.algorithm,
+            "status": outcome.status,
+            "outcome_digest": outcome.digest(),
+            "trace": (
+                f"traces/{scenario.scenario_id}.jsonl"
+                if config.traces
+                else None
+            ),
+            "bundle": (
+                str(bundle.relative_to(output_dir))
+                if bundle is not None
+                else None
+            ),
+        })
+    totals: dict[str, int] = {}
+    for outcome in outcomes.values():
+        totals[outcome.status] = totals.get(outcome.status, 0) + 1
+    manifest = {
+        "kind": "chaos-campaign",
+        "schema": CAMPAIGN_SCHEMA,
+        "seed": config.seed,
+        "count": config.count,
+        "include_standalone": config.include_standalone,
+        "inject_deadlock": config.inject_deadlock,
+        "scenarios": entries,
+        "totals": dict(sorted(totals.items())),
+    }
+    path = output_dir / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path

@@ -7,10 +7,13 @@ Usage::
     repro-experiments fig10 --telemetry-dir results/traces
     repro-experiments all --preset fast
     repro-experiments obs summarize results/traces/**/*.jsonl
+    repro-experiments chaos run --seed 7 --count 20 --output-dir chaos-out
 
 The ``obs`` subcommand delegates to :mod:`repro.obs.cli` (also
 installed as ``repro-obs``) for inspecting the JSONL telemetry traces
-that ``--telemetry-dir`` produces.
+that ``--telemetry-dir`` produces; ``chaos`` delegates to
+:mod:`repro.chaos.cli` for randomized fault campaigns with
+deterministic replay bundles (see docs/chaos.md).
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ def _sweep_guard(args: argparse.Namespace) -> SweepGuard | None:
         args.faults
         or args.invariants
         or args.watchdog is not None
+        or args.watchdog_remediate
         or args.journal_dir is not None
         or args.resume
         or args.max_attempts > 1
@@ -43,6 +47,8 @@ def _sweep_guard(args: argparse.Namespace) -> SweepGuard | None:
         return None
     if args.resume and args.journal_dir is None:
         raise SystemExit("--resume requires --journal-dir")
+    if args.watchdog_remediate and args.watchdog is None:
+        raise SystemExit("--watchdog-remediate requires --watchdog")
     try:
         faults = parse_fault_spec(args.faults) if args.faults else None
     except ValueError as error:
@@ -51,7 +57,10 @@ def _sweep_guard(args: argparse.Namespace) -> SweepGuard | None:
         faults=faults,
         invariants=InvariantConfig() if args.invariants else None,
         watchdog=(
-            WatchdogConfig(window_cycles=args.watchdog)
+            WatchdogConfig(
+                window_cycles=args.watchdog,
+                remediate=args.watchdog_remediate,
+            )
             if args.watchdog is not None
             else None
         ),
@@ -61,12 +70,26 @@ def _sweep_guard(args: argparse.Namespace) -> SweepGuard | None:
     )
 
 
+def _standalone_faults(args: argparse.Namespace):
+    """Parse --faults for the standalone figures (fig8/fig9)."""
+    if not args.faults:
+        return None
+    try:
+        return parse_fault_spec(args.faults)
+    except ValueError as error:
+        raise SystemExit(f"bad --faults spec: {error}") from error
+
+
 def _run_fig8(args: argparse.Namespace) -> str:
-    return figure8.format_figure8(figure8.run_figure8(trials=args.trials))
+    return figure8.format_figure8(
+        figure8.run_figure8(trials=args.trials, faults=_standalone_faults(args))
+    )
 
 
 def _run_fig9(args: argparse.Namespace) -> str:
-    return figure9.format_figure9(figure9.run_figure9(trials=args.trials))
+    return figure9.format_figure9(
+        figure9.run_figure9(trials=args.trials, faults=_standalone_faults(args))
+    )
 
 
 def _run_fig10(args: argparse.Namespace) -> str:
@@ -179,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
              "into this directory (inspect with 'repro-experiments obs')",
     )
     resilience = parser.add_argument_group(
-        "resilience (fig10/fig11)",
+        "resilience",
         "fault injection, runtime checking and checkpointed sweeps; "
         "see docs/resilience.md",
     )
@@ -187,8 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults",
         default=None,
         metavar="SPEC",
-        help="inject faults into every sweep point; comma-separated "
-             "key=value spec, e.g. 'drop=1e-3,corrupt=5e-4,seed=7' "
+        help="inject faults into every sweep point (fig10/fig11) or "
+             "into every matching trial (fig8/fig9: grant suppression "
+             "and trial-indexed stalls); comma-separated key=value "
+             "spec, e.g. 'drop=1e-3,corrupt=5e-4,seed=7' "
              "(keys: drop, corrupt, suppress, misroute, stall-node, "
              "stall-start, stall-cycles, seed, max-retries, backoff)",
     )
@@ -206,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CYCLES",
         help="attach a progress watchdog: no delivery for CYCLES cycles "
              "with work outstanding records a structured stall diagnostic",
+    )
+    resilience.add_argument(
+        "--watchdog-remediate",
+        action="store_true",
+        help="give a stalled simulation one recovery kick (re-arm every "
+             "router's arbitration) before declaring deadlock; outcomes "
+             "are recorded as remediated/deadlocked (requires --watchdog)",
     )
     resilience.add_argument(
         "--journal-dir",
@@ -242,6 +274,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # Chaos campaigns (run/replay/shrink/report) likewise.
+        from repro.chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")

@@ -46,8 +46,14 @@ def run_figure8(
     seed: int = 42,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     algorithms: tuple[str, ...] = STANDALONE_ALGORITHMS,
+    faults=None,
 ) -> Figure8Result:
-    """Regenerate the Figure 8 series."""
+    """Regenerate the Figure 8 series.
+
+    *faults* (a :class:`repro.resilience.FaultConfig`) stresses every
+    measurement with matching-layer grant suppression -- the saturation
+    load is still found on a clean MCM so the x-axis stays comparable.
+    """
     base = StandaloneConfig(trials=trials, seed=seed)
     saturation = find_mcm_saturation_load(base)
     series: dict[str, tuple[float, ...]] = {}
@@ -56,7 +62,7 @@ def run_figure8(
         for fraction in fractions:
             load = max(1, round(fraction * saturation))
             config = replace(base, algorithm=algorithm, load=load)
-            values.append(measure_matches(config))
+            values.append(measure_matches(config, faults=faults))
         series[algorithm] = tuple(values)
     return Figure8Result(
         saturation_load=saturation, fractions=tuple(fractions), series=series

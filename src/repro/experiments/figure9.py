@@ -40,8 +40,14 @@ def run_figure9(
     seed: int = 42,
     occupancies: tuple[float, ...] = DEFAULT_OCCUPANCIES,
     algorithms: tuple[str, ...] = STANDALONE_ALGORITHMS,
+    faults=None,
 ) -> Figure9Result:
-    """Regenerate the Figure 9 series."""
+    """Regenerate the Figure 9 series.
+
+    *faults* (a :class:`repro.resilience.FaultConfig`) stresses every
+    measurement with matching-layer grant suppression; the saturation
+    load is still found on a clean MCM.
+    """
     base = StandaloneConfig(trials=trials, seed=seed)
     saturation = find_mcm_saturation_load(base)
     series: dict[str, tuple[float, ...]] = {}
@@ -51,7 +57,7 @@ def run_figure9(
             config = replace(
                 base, algorithm=algorithm, load=saturation, occupancy=occupancy
             )
-            values.append(measure_matches(config))
+            values.append(measure_matches(config, faults=faults))
         series[algorithm] = tuple(values)
     return Figure9Result(
         saturation_load=saturation,

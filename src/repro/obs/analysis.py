@@ -131,6 +131,11 @@ class TraceSummary:
                 "invariant",
             ),
             ("watchdog_fires", "resilience_watchdog_fires_total", "watchdog"),
+            (
+                "watchdog_remediations",
+                "resilience_watchdog_remediations_total",
+                "watchdog-remediation",
+            ),
             ("drain_warnings", "resilience_drain_warnings_total", "drain-warn"),
         ):
             value = self.scalar(metric)
@@ -247,6 +252,7 @@ def diff_summaries(a: TraceSummary, b: TraceSummary) -> list[MetricDelta]:
         "resilience_drops_total",
         "resilience_invariant_violations_total",
         "resilience_watchdog_fires_total",
+        "resilience_watchdog_remediations_total",
         "resilience_drain_warnings_total",
     ):
         # Only fault-injected runs carry these; keep clean diffs clean.

@@ -25,6 +25,8 @@ grant-fault an arbiter grant was suppressed/mis-routed/stalled
 drop        a packet was dropped, with its reason (retries exhausted)
 invariant   a runtime invariant check failed
 watchdog    the progress watchdog fired; carries the stall snapshot
+watchdog-remediation  a watchdog recovery kick resolved (remediated
+            -- progress resumed -- or deadlocked -- kick failed)
 drain-warn  a post-run drain exhausted its budget with packets left
 counters    final metrics-registry snapshot (one per trace)
 profile     final phase-profiler summary (one per trace)
@@ -229,6 +231,21 @@ class WatchdogEvent:
 
 
 @dataclass(frozen=True, slots=True)
+class WatchdogRemediationEvent:
+    """A watchdog recovery kick resolved: the stall was a lost wake-up
+    (``remediated``) or a true protocol deadlock (``deadlocked``)."""
+
+    kind: ClassVar[str] = "watchdog-remediation"
+    time: float
+    outcome: str
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
 class DrainWarningEvent:
     """A post-run drain ran out of budget with packets unaccounted."""
 
@@ -256,6 +273,7 @@ EVENT_TYPES = (
     PacketDropEvent,
     InvariantViolationEvent,
     WatchdogEvent,
+    WatchdogRemediationEvent,
     DrainWarningEvent,
 )
 

@@ -39,6 +39,7 @@ from repro.obs.events import (
     PacketDropEvent,
     StarvationEvent,
     WatchdogEvent,
+    WatchdogRemediationEvent,
 )
 from repro.obs.manifest import RunManifest
 from repro.obs.profiler import PhaseProfiler
@@ -143,6 +144,12 @@ class Telemetry:
         self._watchdog_fires = registry.counter(
             "resilience_watchdog_fires_total",
             "progress-watchdog stall detections",
+        )
+        self._watchdog_remediations = registry.counter(
+            "resilience_watchdog_remediations_total",
+            "watchdog recovery-kick resolutions, by outcome "
+            "(remediated = lost wake-up, deadlocked = kick failed)",
+            ("outcome",),
         )
         self._drain_warnings = registry.counter(
             "resilience_drain_warnings_total",
@@ -333,6 +340,12 @@ class Telemetry:
         if self.events:
             self.sink.emit(WatchdogEvent(now, diagnostic).to_record())
 
+    def on_watchdog_remediation(self, now: float, outcome: str) -> None:
+        """A recovery kick resolved: ``remediated`` or ``deadlocked``."""
+        self._watchdog_remediations.labels(outcome).inc()
+        if self.events:
+            self.sink.emit(WatchdogRemediationEvent(now, outcome).to_record())
+
     def on_drain_exhausted(
         self, now: float, buffered: int, pending: int, in_transit: int
     ) -> None:
@@ -433,6 +446,9 @@ class _NullTelemetry:
         pass
 
     def on_watchdog(self, *args: Any) -> None:
+        pass
+
+    def on_watchdog_remediation(self, *args: Any) -> None:
         pass
 
     def on_drain_exhausted(self, *args: Any) -> None:

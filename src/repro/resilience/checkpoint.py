@@ -32,6 +32,29 @@ def rate_key(rate: float) -> str:
     return repr(float(rate))
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Make a rename in *directory* durable (best-effort).
+
+    ``os.replace`` updates the directory entry, and that update lives
+    in the directory's own metadata -- fsyncing the renamed file alone
+    does not persist it.  Platforms that cannot fsync a directory
+    (notably Windows) raise ``OSError`` on the open or the fsync; the
+    rename is still atomic there, just not durably ordered, so the
+    error is swallowed rather than failing the compaction.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class SweepJournal:
     """Append-only JSONL journal of sweep points, keyed (algorithm, rate)."""
 
@@ -133,6 +156,41 @@ class SweepJournal:
             else str(error),
         })
 
+    def record_outcome(
+        self,
+        algorithm: str,
+        rate: float,
+        outcome: dict,
+        attempts: int = 1,
+    ) -> None:
+        """Journal an arbitrary structured outcome under a sweep key.
+
+        The chaos campaign runner reuses the sweep journal as its
+        checkpoint/resume store by keying each scenario as
+        ``(scenario_id, float(index))``; the outcome dict (status,
+        digest, metrics, ...) rides in the record verbatim.  Outcomes
+        are always ``status: ok`` at the journal level -- a *failing*
+        chaos scenario is still a *completed* unit of campaign work,
+        so resume must skip it.
+        """
+        self._append({
+            "kind": "chaos-scenario",
+            "status": "ok",
+            "algorithm": algorithm,
+            "rate": rate,
+            "rate_key": rate_key(rate),
+            "attempts": attempts,
+            "outcome": outcome,
+        })
+
+    def outcome_for(self, algorithm: str, rate: float) -> dict | None:
+        """The journalled outcome dict, if this key has completed."""
+        record = self.record_for(algorithm, rate)
+        if record is None or record.get("status") != "ok":
+            return None
+        outcome = record.get("outcome")
+        return outcome if isinstance(outcome, dict) else None
+
     def compact(self) -> int:
         """Rewrite the journal latest-wins; returns the lines dropped.
 
@@ -142,7 +200,9 @@ class SweepJournal:
         writes those latest records to a sibling temp file and
         atomically renames it over the journal (fsync first), so a
         crash mid-compaction leaves either the old complete journal or
-        the new complete one -- never a torn file.  Replaying the
+        the new complete one -- never a torn file.  The containing
+        directory is fsynced after the rename so the rename itself is
+        durable, not just the new file's bytes.  Replaying the
         compacted journal reconstructs the exact same latest-wins
         state.  A no-op (returning 0) when nothing would shrink.
         """
@@ -162,6 +222,7 @@ class SweepJournal:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temp_path, self.path)
+        _fsync_directory(self.path.parent)
         return dropped
 
     def _append(self, record: dict) -> None:

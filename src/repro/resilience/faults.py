@@ -75,6 +75,9 @@ class FaultConfig:
     retry: LinkRetrySpec = field(default_factory=LinkRetrySpec)
 
     def __post_init__(self) -> None:
+        # Reject garbage loudly: a NaN or negative rate would otherwise
+        # propagate into the Bernoulli draws and silently disable (or
+        # randomize) the fault schedule.
         for name in (
             "flit_drop_rate",
             "flit_corrupt_rate",
@@ -82,12 +85,25 @@ class FaultConfig:
             "grant_misroute_rate",
         ):
             rate = getattr(self, name)
-            if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+            if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+                raise ValueError(f"{name} must be a number, got {rate!r}")
+            if math.isnan(rate) or not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate!r}")
         if self.flit_drop_rate + self.flit_corrupt_rate > 1.0:
             raise ValueError("flit drop + corrupt rates cannot exceed 1")
-        if self.stall_cycles < 0:
-            raise ValueError("stall_cycles cannot be negative")
+        if math.isnan(self.stall_cycles) or self.stall_cycles < 0:
+            raise ValueError(
+                f"stall_cycles must be non-negative, got {self.stall_cycles!r}"
+            )
+        if (
+            math.isnan(self.stall_start_cycle)
+            or math.isinf(self.stall_start_cycle)
+            or self.stall_start_cycle < 0
+        ):
+            raise ValueError(
+                "stall_start_cycle must be finite and non-negative, "
+                f"got {self.stall_start_cycle!r}"
+            )
 
     @property
     def affects_links(self) -> bool:
@@ -226,6 +242,38 @@ class FaultInjector:
                 tel.on_grant_fault(now, router.node, "grant-misrouted", misrouted)
         return kept
 
+    # -- standalone-model faults -----------------------------------------
+
+    def filter_matching(self, grants: list[Grant], trial: int) -> list[Grant]:
+        """Standalone-model seam: break grants at the matching layer.
+
+        The standalone model (Figures 8/9) has no notion of wall-clock
+        time or of multiple routers, so the stall window is interpreted
+        over *trial indices* (any non-None ``stall_node`` stalls the
+        single router under test) and only grant suppression applies
+        per grant -- there is no alternate hop plan to mis-route to.
+        A suppressed subset of a legal matching is still a legal
+        matching, so :class:`~repro.resilience.ArbitrationInvariants`
+        stays honest under injection.
+        """
+        config = self.config
+        if (
+            config.stall_node is not None
+            and config.stall_cycles > 0
+            and config.stall_start_cycle
+            <= trial
+            < config.stall_start_cycle + config.stall_cycles
+        ):
+            self.counts["stall-blocked"] += len(grants)
+            return []
+        rate = config.grant_suppression_rate
+        if rate <= 0.0 or not grants:
+            return grants
+        rng = self._rng
+        kept = [grant for grant in grants if not rng.random() < rate]
+        self.counts["grant-suppressed"] += len(grants) - len(kept)
+        return kept
+
     def _misroute(
         self, router, launch, nomination, grant: Grant, taken: set[int], now: float
     ) -> Grant | None:
@@ -253,6 +301,22 @@ def parse_fault_spec(spec: str) -> FaultConfig:
     ``stall-cycles`` (``inf`` allowed); ``seed``; ``max-retries`` and
     ``backoff`` (retry policy, backoff in base cycles).
     """
+    def _float(key: str, value: str) -> float:
+        try:
+            return float(value)
+        except ValueError:
+            raise ValueError(
+                f"fault spec {key}={value!r}: not a number"
+            ) from None
+
+    def _int(key: str, value: str) -> int:
+        try:
+            return int(value)
+        except ValueError:
+            raise ValueError(
+                f"fault spec {key}={value!r}: not an integer"
+            ) from None
+
     kwargs: dict = {}
     retry_kwargs: dict = {}
     for part in spec.split(","):
@@ -265,25 +329,25 @@ def parse_fault_spec(spec: str) -> FaultConfig:
         key = key.strip().lower()
         value = value.strip()
         if key == "drop":
-            kwargs["flit_drop_rate"] = float(value)
+            kwargs["flit_drop_rate"] = _float(key, value)
         elif key == "corrupt":
-            kwargs["flit_corrupt_rate"] = float(value)
+            kwargs["flit_corrupt_rate"] = _float(key, value)
         elif key == "suppress":
-            kwargs["grant_suppression_rate"] = float(value)
+            kwargs["grant_suppression_rate"] = _float(key, value)
         elif key == "misroute":
-            kwargs["grant_misroute_rate"] = float(value)
+            kwargs["grant_misroute_rate"] = _float(key, value)
         elif key == "stall-node":
-            kwargs["stall_node"] = int(value)
+            kwargs["stall_node"] = _int(key, value)
         elif key == "stall-start":
-            kwargs["stall_start_cycle"] = float(value)
+            kwargs["stall_start_cycle"] = _float(key, value)
         elif key == "stall-cycles":
-            kwargs["stall_cycles"] = float(value)
+            kwargs["stall_cycles"] = _float(key, value)
         elif key == "seed":
-            kwargs["seed"] = int(value)
+            kwargs["seed"] = _int(key, value)
         elif key == "max-retries":
-            retry_kwargs["max_retries"] = int(value)
+            retry_kwargs["max_retries"] = _int(key, value)
         elif key == "backoff":
-            retry_kwargs["backoff_base_cycles"] = float(value)
+            retry_kwargs["backoff_base_cycles"] = _float(key, value)
         else:
             raise ValueError(f"unknown fault spec key {key!r}")
     if retry_kwargs:

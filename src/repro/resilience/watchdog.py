@@ -35,11 +35,21 @@ class WatchdogConfig:
             costs one window, not a cycle horizon.
         max_snapshots: cap on stored diagnostics (the trace still
             records every fire).
+        remediate: on the first stall of an episode, issue a one-shot
+            recovery kick (``sim.recovery_kick()``: re-arm arbitration
+            launches everywhere) and give it one more window before
+            declaring deadlock.  A stall a kick cures was a lost
+            wake-up, not a protocol deadlock -- the two outcomes are
+            recorded separately (``remediated`` vs ``deadlocked``) so
+            the distinction survives into traces and counters.  With
+            ``action="raise"`` the abort happens only after a failed
+            kick.
     """
 
     window_cycles: float = 5_000.0
     action: str = "record"
     max_snapshots: int = 8
+    remediate: bool = False
 
     def __post_init__(self) -> None:
         if self.window_cycles <= 0:
@@ -75,6 +85,15 @@ class ProgressWatchdog:
         self.fired = 0
         self.diagnostics: list[dict] = []
         self._last_delivered: int | None = None
+        #: remediation bookkeeping: kicks issued, stalls a kick cured
+        #: (lost wake-ups), stalls a kick could not cure (deadlocks).
+        self.remediations_attempted = 0
+        self.remediated = 0
+        self.deadlocked = 0
+        #: per-episode kick state: None (armed), "pending" (kick
+        #: issued, awaiting the grace window), "failed" (kick did not
+        #: restore progress -- the stall is a real deadlock).
+        self._kick_state: str | None = None
 
     @property
     def clean(self) -> bool:
@@ -86,6 +105,14 @@ class ProgressWatchdog:
         last = self._last_delivered
         self._last_delivered = delivered
         if last is None or delivered != last:
+            if self._kick_state == "pending":
+                # Progress resumed inside the grace window: the kick
+                # cured the stall, so it was a lost wake-up.
+                self.remediated += 1
+                tel = sim.telemetry
+                if tel.enabled:
+                    tel.on_watchdog_remediation(sim.now, "remediated")
+            self._kick_state = None  # re-arm for the next episode
             return None
         outstanding = (
             sim.total_buffered_packets()
@@ -95,13 +122,35 @@ class ProgressWatchdog:
         if outstanding == 0:
             return None
         diagnostic = self._diagnose(sim, outstanding)
+        raise_now = self.config.action == "raise"
+        if self.config.remediate and self._kick_state is None:
+            # First stall of an episode: one-shot kick, one grace
+            # window before any deadlock verdict (even in raise mode).
+            self._kick_state = "pending"
+            self.remediations_attempted += 1
+            diagnostic["verdict"] = "kick-issued"
+            kick = getattr(sim, "recovery_kick", None)
+            if kick is not None:
+                kick()
+            raise_now = False
+        elif self._kick_state == "pending":
+            # The grace window elapsed with no progress: the kick did
+            # not help -- this is a true protocol deadlock.
+            self._kick_state = "failed"
+            self.deadlocked += 1
+            diagnostic["verdict"] = "deadlocked"
+            tel = sim.telemetry
+            if tel.enabled:
+                tel.on_watchdog_remediation(sim.now, "deadlocked")
+        elif self.config.remediate:
+            diagnostic["verdict"] = "deadlocked"
         self.fired += 1
         if len(self.diagnostics) < self.config.max_snapshots:
             self.diagnostics.append(diagnostic)
         tel = sim.telemetry
         if tel.enabled:
             tel.on_watchdog(sim.now, diagnostic)
-        if self.config.action == "raise":
+        if raise_now:
             raise DeadlockError(diagnostic)
         return diagnostic
 

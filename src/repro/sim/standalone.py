@@ -103,6 +103,12 @@ class StandaloneRouterModel:
     ``invariants`` to validate every trial's grants as a legal matching
     (unique rows/packets/outputs, nominated combinations only, free
     outputs only, per-port capacities respected).
+    Pass a :class:`repro.resilience.FaultConfig` (or a built
+    :class:`~repro.resilience.FaultInjector`) as ``faults`` to stress
+    the matching layer itself: grant suppression (and a trial-indexed
+    stall window) break individual grants *after* arbitration, so
+    Figures 8/9 arbiters can be studied under adversarial grant loss
+    just like the network model's routers.
     """
 
     def __init__(
@@ -110,10 +116,19 @@ class StandaloneRouterModel:
         config: StandaloneConfig,
         telemetry: Telemetry | None = None,
         invariants=None,
+        faults=None,
     ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.invariants = invariants
+        if faults is not None and not hasattr(faults, "filter_matching"):
+            # A FaultConfig: build the injector here (lazy import keeps
+            # repro.sim free of a hard dependency on the resilience
+            # package at import time).
+            from repro.resilience.faults import FaultInjector
+
+            faults = FaultInjector(faults)
+        self.faults = faults
         self._rng = random.Random(config.seed)
         self._arbiter = make_arbiter(
             config.algorithm,
@@ -137,11 +152,16 @@ class StandaloneRouterModel:
             tel.open_run(self.config, model="standalone")
         stats = RunningStats()
         invariants = self.invariants
+        faults = self.faults
         for trial in range(self.config.trials):
             packets = self._generate_packets()
             free_outputs = self._generate_free_outputs()
             nominations = self._build_nominations(packets, free_outputs)
             grants = self._arbiter.arbitrate(nominations, free_outputs)
+            if faults is not None:
+                # Injected after arbitration, checked after injection: a
+                # suppressed subset of a legal matching stays legal.
+                grants = faults.filter_matching(grants, trial)
             if invariants is not None:
                 invariants.check_arbitration(
                     nominations, free_outputs, grants, trial
@@ -288,9 +308,14 @@ class StandaloneRouterModel:
         return SourceKind.NETWORK if port.is_network else SourceKind.LOCAL
 
 
-def measure_matches(config: StandaloneConfig) -> float:
-    """Mean matches per arbitration for one configuration."""
-    return StandaloneRouterModel(config).run().mean
+def measure_matches(config: StandaloneConfig, faults=None) -> float:
+    """Mean matches per arbitration for one configuration.
+
+    *faults* (a :class:`repro.resilience.FaultConfig`) injects
+    matching-layer grant suppression into every trial; each call builds
+    a fresh injector, so a given (config, faults) pair is deterministic.
+    """
+    return StandaloneRouterModel(config, faults=faults).run().mean
 
 
 def find_mcm_saturation_load(

@@ -597,6 +597,21 @@ class NetworkSimulator:
 
     # -- resilience ticks -----------------------------------------------------
 
+    def recovery_kick(self) -> None:
+        """Re-arm arbitration launches everywhere (watchdog remediation).
+
+        A lost wake-up wedges the network with every router waiting for
+        a launch request that never comes; re-requesting a launch at
+        every router (and re-draining every injection queue) is exactly
+        the event such a bug swallowed.  A true protocol deadlock is
+        unaffected -- the kicked launches find no grantable nomination
+        -- which is what lets the watchdog tell the two apart.
+        """
+        for router in self.routers:
+            self._request_launch(router)
+        for node, port in self._pending:
+            self._drain_pending(node, port)
+
     def _invariant_tick(self) -> None:
         self.invariants.check_network(self)
         if self.queue.now < self._window_end or self._outstanding_work():

@@ -1,0 +1,53 @@
+"""Shared fixtures for the chaos-harness tests.
+
+Every test in this directory carries the ``chaos`` marker (run the
+slice alone with ``pytest -m chaos``).  The two campaign fixtures are
+module-scoped on purpose: one serial and one two-worker run of the
+*same* seeded campaign back the determinism, resume, bundle and replay
+tests without re-running the campaign per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import CampaignConfig, ScenarioSpace, run_campaign
+
+#: one campaign, pinned: the fixtures below must agree on these.
+CAMPAIGN_SEED = 3
+CAMPAIGN_COUNT = 3
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "tests/chaos/" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.chaos)
+
+
+def campaign_config(output_dir, workers: int = 1, **overrides) -> CampaignConfig:
+    kwargs = dict(
+        output_dir=output_dir,
+        seed=CAMPAIGN_SEED,
+        count=CAMPAIGN_COUNT,
+        space=ScenarioSpace.smoke(),
+        inject_deadlock=True,
+        workers=workers,
+    )
+    kwargs.update(overrides)
+    return CampaignConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_campaign(tmp_path_factory):
+    """(config, result) of the pinned campaign run serially."""
+    config = campaign_config(tmp_path_factory.mktemp("chaos-serial"))
+    return config, run_campaign(config)
+
+
+@pytest.fixture(scope="module")
+def pooled_campaign(tmp_path_factory):
+    """The same campaign fanned over two spawn workers."""
+    config = campaign_config(
+        tmp_path_factory.mktemp("chaos-pooled"), workers=2
+    )
+    return config, run_campaign(config)

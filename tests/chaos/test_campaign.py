@@ -1,0 +1,178 @@
+"""Campaign determinism, resume, failure capture and exact replay."""
+
+import json
+from dataclasses import replace
+
+from repro.chaos import (
+    INJECTED_DEADLOCK_NAME,
+    ScenarioOutcome,
+    campaign_scenarios,
+    load_bundle,
+    replay_bundle,
+    run_campaign,
+)
+from repro.chaos.campaign import JOURNAL_NAME, MANIFEST_NAME
+from repro.resilience.checkpoint import SweepJournal
+
+from tests.chaos.conftest import campaign_config
+
+
+class TestDeterminism:
+    def test_manifests_identical_across_worker_counts(
+        self, serial_campaign, pooled_campaign
+    ):
+        """Acceptance: same seed -> byte-identical manifest, serial or
+        pooled.  The manifest carries every scenario digest and outcome
+        digest, so byte equality pins the whole campaign's results."""
+        _, serial = serial_campaign
+        _, pooled = pooled_campaign
+        assert serial.manifest_path.read_bytes() == (
+            pooled.manifest_path.read_bytes()
+        )
+
+    def test_outcome_digests_match_pairwise(
+        self, serial_campaign, pooled_campaign
+    ):
+        _, serial = serial_campaign
+        _, pooled = pooled_campaign
+        assert serial.status_totals() == pooled.status_totals()
+        for index, outcome in serial.outcomes.items():
+            assert outcome.digest() == pooled.outcomes[index].digest()
+
+    def test_scenario_list_is_shared_with_resume(self, serial_campaign):
+        config, result = serial_campaign
+        assert campaign_scenarios(config) == result.scenarios
+
+
+class TestCampaignProducts:
+    def test_injected_deadlock_is_captured_with_a_bundle(
+        self, serial_campaign
+    ):
+        _, result = serial_campaign
+        assert result.status_totals()["deadlock"] == 1
+        failures = {
+            scenario.scenario_id: (outcome, bundle)
+            for scenario, outcome, bundle in result.failures
+        }
+        outcome, bundle = failures[INJECTED_DEADLOCK_NAME]
+        assert outcome.status == "deadlock"
+        assert bundle.exists()
+        record = load_bundle(bundle)
+        assert record["scenario"]["name"] == INJECTED_DEADLOCK_NAME
+        assert record["fault_digest"]
+        assert record["trace_tail"], "the trace tail rides in the bundle"
+
+    def test_failures_are_not_crashes(self, serial_campaign):
+        """A deadlock is explained chaos product, not a harness bug."""
+        _, result = serial_campaign
+        assert result.failures
+        assert result.crashed == []
+
+    def test_manifest_is_wall_clock_free(self, serial_campaign):
+        _, result = serial_campaign
+        manifest = json.loads(result.manifest_path.read_text())
+        assert manifest["kind"] == "chaos-campaign"
+        text = result.manifest_path.read_text()
+        for banned in ("time", "elapsed", "duration", "date"):
+            assert banned not in text.lower().replace(
+                "runtime", ""
+            ), f"manifest must not record {banned!r}"
+
+    def test_journal_holds_every_outcome(self, serial_campaign):
+        config, result = serial_campaign
+        journal = SweepJournal(config.output_dir / JOURNAL_NAME)
+        for scenario in result.scenarios:
+            cached = journal.outcome_for(
+                scenario.scenario_id, float(scenario.index)
+            )
+            assert ScenarioOutcome.from_dict(cached).digest() == (
+                result.outcomes[scenario.index].digest()
+            )
+
+
+class TestResume:
+    def test_resume_skips_everything_and_reproduces_the_manifest(
+        self, serial_campaign
+    ):
+        config, original = serial_campaign
+        manifest_before = original.manifest_path.read_bytes()
+        resumed = run_campaign(replace(config, resume=True))
+        assert resumed.resumed == len(original.scenarios)
+        assert resumed.manifest_path.read_bytes() == manifest_before
+        for index, outcome in original.outcomes.items():
+            assert resumed.outcomes[index].digest() == outcome.digest()
+
+    def test_without_resume_nothing_is_skipped(self, tmp_path):
+        config = campaign_config(
+            tmp_path, count=1, inject_deadlock=False, traces=False
+        )
+        first = run_campaign(config)
+        again = run_campaign(config)
+        assert first.resumed == 0 and again.resumed == 0
+        assert first.outcomes[0].digest() == again.outcomes[0].digest()
+
+
+class TestReplay:
+    def test_replay_reproduces_the_injected_deadlock(self, serial_campaign):
+        """Acceptance: the bundle re-executes digest-identically."""
+        _, result = serial_campaign
+        bundle = next(
+            bundle
+            for scenario, _, bundle in result.failures
+            if scenario.scenario_id == INJECTED_DEADLOCK_NAME
+        )
+        replay = replay_bundle(bundle)
+        assert replay.reproduced
+        assert "reproduced" in replay.describe()
+        assert replay.replayed.status == "deadlock"
+
+    def test_replay_accepts_the_bundle_directory(self, serial_campaign):
+        config, _ = serial_campaign
+        directory = (
+            config.output_dir / "bundles" / INJECTED_DEADLOCK_NAME
+        )
+        assert replay_bundle(directory).reproduced
+
+    def test_tampered_bundle_fails_loudly(self, serial_campaign, tmp_path):
+        import pytest
+
+        config, _ = serial_campaign
+        bundle = (
+            config.output_dir
+            / "bundles"
+            / INJECTED_DEADLOCK_NAME
+            / "bundle.json"
+        )
+        record = json.loads(bundle.read_text())
+        record["outcome"]["status"] = "ok"
+        forged = tmp_path / "bundle.json"
+        forged.write_text(json.dumps(record))
+        with pytest.raises(ValueError, match="digest mismatch"):
+            replay_bundle(forged)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        import pytest
+
+        path = tmp_path / "bundle.json"
+        path.write_text(json.dumps({"kind": "lunch-order"}))
+        with pytest.raises(ValueError, match="not a chaos replay bundle"):
+            load_bundle(path)
+
+
+class TestManifestReport:
+    def test_report_command_renders_the_manifest(
+        self, serial_campaign, capsys
+    ):
+        from repro.chaos.cli import main
+
+        config, _ = serial_campaign
+        assert main(["report", str(config.output_dir)]) == 0
+        out = capsys.readouterr().out
+        assert INJECTED_DEADLOCK_NAME in out
+        assert "deadlock=1" in out
+
+    def test_report_without_a_manifest_fails(self, tmp_path, capsys):
+        from repro.chaos.cli import main
+
+        assert main(["report", str(tmp_path)]) == 1
+        assert MANIFEST_NAME in capsys.readouterr().err

@@ -94,6 +94,43 @@ class TestSweepJournal:
         assert math.isnan(restored.transaction_latency_ns)
 
 
+class TestOutcomeRecords:
+    """The generic outcome API the chaos campaign journals through."""
+
+    def test_outcome_round_trips(self, tmp_path):
+        journal = SweepJournal(tmp_path / "campaign.jsonl")
+        outcome = {"status": "deadlock", "digest": "abc123", "metrics": {}}
+        journal.record_outcome("injected-deadlock", 6.0, outcome)
+
+        fresh = SweepJournal(journal.path)
+        assert fresh.outcome_for("injected-deadlock", 6.0) == outcome
+        assert fresh.outcome_for("injected-deadlock", 7.0) is None
+
+    def test_failing_outcome_still_counts_as_completed(self, tmp_path):
+        """A failing scenario is completed campaign work: resume skips it."""
+        journal = SweepJournal(tmp_path / "campaign.jsonl")
+        journal.record_outcome("s001-aaaa", 1.0, {"status": "crash"})
+        fresh = SweepJournal(journal.path)
+        assert fresh.completed_count() == 1
+        assert not fresh.failures()
+        assert fresh.outcome_for("s001-aaaa", 1.0)["status"] == "crash"
+
+    def test_outcome_for_ignores_sweep_points(self, tmp_path):
+        journal = SweepJournal(tmp_path / "mixed.jsonl")
+        journal.record_success("PIM1", 0.02, sample_point(0.02))
+        assert journal.outcome_for("PIM1", 0.02) is None
+        assert journal.completed_point("PIM1", 0.02) is not None
+
+    def test_outcomes_survive_compaction(self, tmp_path):
+        journal = SweepJournal(tmp_path / "campaign.jsonl")
+        journal.record_outcome("s000-aaaa", 0.0, {"status": "ok", "v": 1})
+        journal.record_outcome("s000-aaaa", 0.0, {"status": "ok", "v": 2})
+        assert journal.compact() == 1
+        assert SweepJournal(journal.path).outcome_for(
+            "s000-aaaa", 0.0
+        ) == {"status": "ok", "v": 2}
+
+
 class TestCompaction:
     def test_compact_drops_superseded_records(self, tmp_path):
         journal = SweepJournal(tmp_path / "sweep.jsonl")
@@ -131,6 +168,89 @@ class TestCompaction:
 
     def test_compact_on_a_missing_file_is_safe(self, tmp_path):
         assert SweepJournal(tmp_path / "absent.jsonl").compact() == 0
+
+    def test_crash_in_the_rename_window_leaves_a_whole_journal(
+        self, tmp_path, monkeypatch
+    ):
+        """Kill compaction at the worst moment: between the temp-file
+        write and the atomic rename.  The journal must still be the
+        complete pre-compaction file, and a retry must succeed."""
+        import os
+
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_failure("PIM1", 0.02, attempt=1, error="boom")
+        journal.record_success("PIM1", 0.02, sample_point(0.02), attempts=2)
+        text_before = journal.path.read_text()
+
+        real_replace = os.replace
+        calls = {"n": 0}
+
+        def crashy_replace(src, dst):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("simulated crash before rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", crashy_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            journal.compact()
+        # Old journal intact; replaying it reconstructs the same state.
+        assert journal.path.read_text() == text_before
+        recovered = SweepJournal(journal.path)
+        assert recovered.completed_point("PIM1", 0.02) is not None
+        # The retry goes through and actually shrinks the file.
+        assert recovered.compact() == 1
+        assert len(journal.path.read_text().splitlines()) == 1
+
+    def test_compact_fsyncs_the_directory_after_the_rename(
+        self, tmp_path, monkeypatch
+    ):
+        """Durability ordering: the rename's directory entry is fsynced,
+        and only after os.replace has happened."""
+        import os
+
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_failure("PIM1", 0.02, attempt=1, error="boom")
+        journal.record_success("PIM1", 0.02, sample_point(0.02))
+
+        events: list[str] = []
+        real_replace = os.replace
+        real_fsync = os.fsync
+        dir_fd_stats = {}
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        def spy_fsync(fd):
+            import stat
+
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                events.append("fsync-dir")
+                dir_fd_stats["ino"] = os.fstat(fd).st_ino
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "replace", spy_replace)
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        assert journal.compact() == 1
+        assert "fsync-dir" in events
+        assert events.index("fsync-dir") > events.index("replace")
+        assert dir_fd_stats["ino"] == os.stat(tmp_path).st_ino
+
+    def test_directory_fsync_failure_is_not_fatal(self, tmp_path, monkeypatch):
+        """Platforms that cannot fsync a directory still compact."""
+        from repro.resilience import checkpoint
+
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_failure("PIM1", 0.02, attempt=1, error="boom")
+        journal.record_success("PIM1", 0.02, sample_point(0.02))
+
+        def refuse(path, flags):
+            raise OSError("directories not openable here")
+
+        monkeypatch.setattr(checkpoint.os, "open", refuse)
+        assert journal.compact() == 1
+        assert len(journal.path.read_text().splitlines()) == 1
 
     def test_compacted_journal_preserves_resume_semantics(self, tmp_path):
         """A retried-then-compacted journal resumes exactly like the

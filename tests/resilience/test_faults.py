@@ -25,6 +25,38 @@ class TestFaultConfig:
         with pytest.raises(ValueError):
             FaultConfig(stall_cycles=-1.0)
 
+    @pytest.mark.parametrize("rate_field", [
+        "flit_drop_rate",
+        "flit_corrupt_rate",
+        "grant_suppression_rate",
+        "grant_misroute_rate",
+    ])
+    @pytest.mark.parametrize("bad", [
+        math.nan, -0.1, 1.0001, math.inf, "0.5", None, True,
+    ])
+    def test_every_rate_rejects_garbage(self, rate_field, bad):
+        """NaN/negative/out-of-range/non-numeric rates all fail loudly.
+
+        A NaN rate is the nasty one: every comparison against it is
+        False, so without the explicit check it would silently disable
+        the Bernoulli draw instead of erroring.
+        """
+        with pytest.raises(ValueError, match=rate_field):
+            FaultConfig(**{rate_field: bad})
+
+    def test_stall_window_rejects_garbage(self):
+        with pytest.raises(ValueError, match="stall_cycles"):
+            FaultConfig(stall_cycles=math.nan)
+        # stall_start must be finite: an inf start never begins.
+        with pytest.raises(ValueError, match="stall_start_cycle"):
+            FaultConfig(stall_start_cycle=math.inf)
+        with pytest.raises(ValueError, match="stall_start_cycle"):
+            FaultConfig(stall_start_cycle=math.nan)
+        with pytest.raises(ValueError, match="stall_start_cycle"):
+            FaultConfig(stall_start_cycle=-5.0)
+        # inf stall_cycles stays legal: that is the permanent stall.
+        assert math.isinf(permanent_stall(node=0).stall_cycles)
+
     def test_enabled_flags(self):
         assert not FaultConfig().enabled
         assert FaultConfig(flit_drop_rate=0.1).affects_links
@@ -72,10 +104,29 @@ class TestFaultSpecParsing:
         assert config.retry.backoff_base_cycles == 2.0
 
     def test_bad_specs_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="not key=value"):
             parse_fault_spec("drop")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
             parse_fault_spec("volume=11")
+        with pytest.raises(ValueError, match="not a number"):
+            parse_fault_spec("drop=lots")
+        with pytest.raises(ValueError, match="not an integer"):
+            parse_fault_spec("stall-node=first")
+        with pytest.raises(ValueError, match="not an integer"):
+            parse_fault_spec("seed=7.5")
+        # Values that parse as floats but fail FaultConfig validation
+        # surface the config's message, not a parse error.
+        with pytest.raises(ValueError, match="within"):
+            parse_fault_spec("suppress=nan")
+        with pytest.raises(ValueError, match="within"):
+            parse_fault_spec("drop=-0.1")
+        with pytest.raises(ValueError, match="stall_start_cycle"):
+            parse_fault_spec("stall-start=inf")
+
+    def test_blank_entries_ignored(self):
+        config = parse_fault_spec("drop=1e-3, ,suppress=0.01,")
+        assert config.flit_drop_rate == 1e-3
+        assert config.grant_suppression_rate == 0.01
 
     def test_permanent_stall_helper(self):
         config = permanent_stall(node=5, start_cycle=50.0)
@@ -207,3 +258,81 @@ class TestGrantFaults:
         assert injector.counts["stall-blocked"] > 0
         assert sim.drain(), "a bounded stall must recover after the window"
         assert sim.total_delivered == sim.total_injected
+
+
+class TestStandaloneFaults:
+    """The matching-layer seam: Figures 8/9 arbiters under grant loss."""
+
+    def test_suppression_reduces_mean_matches(self):
+        from repro.sim.standalone import StandaloneConfig, measure_matches
+
+        config = StandaloneConfig(algorithm="MCM", load=32, trials=200, seed=11)
+        clean = measure_matches(config)
+        lossy = measure_matches(
+            config, faults=FaultConfig(seed=3, grant_suppression_rate=0.2)
+        )
+        assert lossy < clean, "20% grant suppression must cost matches"
+        assert lossy > clean * 0.6, "but only the suppressed fraction"
+
+    def test_same_config_and_faults_is_deterministic(self):
+        from repro.sim.standalone import StandaloneConfig, measure_matches
+
+        config = StandaloneConfig(algorithm="SPAA", trials=150, seed=11)
+        faults = FaultConfig(seed=9, grant_suppression_rate=0.1)
+        assert measure_matches(config, faults=faults) == measure_matches(
+            config, faults=faults
+        )
+
+    def test_trial_indexed_stall_blocks_only_its_window(self):
+        injector = FaultInjector(FaultConfig(
+            seed=2, stall_node=0, stall_start_cycle=10.0, stall_cycles=5.0
+        ))
+        grants = ["g1", "g2"]
+        inside = [injector.filter_matching(grants, t) for t in range(10, 15)]
+        outside = [
+            injector.filter_matching(grants, t) for t in (0, 9, 15, 100)
+        ]
+        assert all(kept == [] for kept in inside)
+        assert all(kept == grants for kept in outside)
+        assert injector.counts["stall-blocked"] == 10
+
+    def test_matching_suppression_is_seed_deterministic(self):
+        config = FaultConfig(seed=4, grant_suppression_rate=0.5)
+        grants = list(range(20))
+        kept_a = FaultInjector(config).filter_matching(grants, 0)
+        kept_b = FaultInjector(config).filter_matching(grants, 0)
+        assert kept_a == kept_b
+        assert 0 < len(kept_a) < len(grants)
+
+    def test_stalled_trials_still_satisfy_invariants(self):
+        """A stalled/suppressed matching stays a legal (sub)matching."""
+        from repro.resilience.invariants import ArbitrationInvariants
+        from repro.sim.standalone import StandaloneConfig, StandaloneRouterModel
+
+        invariants = ArbitrationInvariants()
+        model = StandaloneRouterModel(
+            StandaloneConfig(algorithm="PIM", trials=60, seed=11),
+            invariants=invariants,
+            faults=FaultConfig(
+                seed=5,
+                grant_suppression_rate=0.3,
+                stall_node=0,
+                stall_start_cycle=10.0,
+                stall_cycles=20.0,
+            ),
+        )
+        stats = model.run()
+        assert model.faults.counts["stall-blocked"] >= 0
+        assert stats.count == 60
+
+    def test_figure8_accepts_faults(self):
+        from repro.experiments.figure8 import run_figure8
+
+        result = run_figure8(
+            trials=60,
+            faults=FaultConfig(seed=3, grant_suppression_rate=0.5),
+        )
+        clean = run_figure8(trials=60)
+        # Every algorithm's curve drops under 50% grant suppression.
+        for algorithm, series in result.series.items():
+            assert max(series) < max(clean.series[algorithm])

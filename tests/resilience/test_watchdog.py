@@ -97,6 +97,119 @@ class TestStallDetection:
         assert len(dog.diagnostics) == 2
 
 
+class FakeSim:
+    """Minimal watchdog subject: scripted progress, countable kicks."""
+
+    def __init__(self):
+        self.total_delivered = 0
+        self.packets_in_transit = 0
+        self.packets_sinking = 0
+        self.now = 0.0
+        self.routers = []
+        self.kicks = 0
+        from repro.obs.telemetry import NULL_TELEMETRY
+
+        self.telemetry = NULL_TELEMETRY
+
+    def total_buffered_packets(self):
+        return 3
+
+    def total_pending_injections(self):
+        return 0
+
+    def recovery_kick(self):
+        self.kicks += 1
+
+
+class TestRemediation:
+    def test_kick_that_restores_progress_counts_as_remediated(self):
+        dog = ProgressWatchdog(WatchdogConfig(
+            window_cycles=100.0, remediate=True
+        ))
+        sim = FakeSim()
+        assert dog.observe(sim) is None  # baseline tick
+        diag = dog.observe(sim)  # stall: kick issued, grace window starts
+        assert diag["verdict"] == "kick-issued"
+        assert sim.kicks == 1
+        assert dog.remediations_attempted == 1
+        sim.total_delivered += 1  # the kick worked
+        assert dog.observe(sim) is None
+        assert dog.remediated == 1
+        assert dog.deadlocked == 0
+
+    def test_kick_that_fails_counts_as_deadlocked(self):
+        dog = ProgressWatchdog(WatchdogConfig(
+            window_cycles=100.0, remediate=True
+        ))
+        sim = FakeSim()
+        dog.observe(sim)
+        assert dog.observe(sim)["verdict"] == "kick-issued"
+        diag = dog.observe(sim)  # grace window elapsed, still stuck
+        assert diag["verdict"] == "deadlocked"
+        assert dog.deadlocked == 1
+        assert dog.remediated == 0
+        assert sim.kicks == 1, "the kick is one-shot per episode"
+
+    def test_raise_mode_gets_one_grace_window(self):
+        dog = ProgressWatchdog(WatchdogConfig(
+            window_cycles=100.0, action="raise", remediate=True
+        ))
+        sim = FakeSim()
+        dog.observe(sim)
+        assert dog.observe(sim)["verdict"] == "kick-issued"  # no raise yet
+        with pytest.raises(DeadlockError):
+            dog.observe(sim)
+
+    def test_episode_rearms_after_remediation(self):
+        """A later, unrelated stall gets its own kick."""
+        dog = ProgressWatchdog(WatchdogConfig(
+            window_cycles=100.0, remediate=True
+        ))
+        sim = FakeSim()
+        dog.observe(sim)
+        dog.observe(sim)  # kick 1
+        sim.total_delivered += 1
+        dog.observe(sim)  # remediated; state re-armed
+        dog.observe(sim)  # stall again -> kick 2
+        assert sim.kicks == 2
+        assert dog.remediations_attempted == 2
+
+    def test_real_deadlock_survives_the_kick(self, tiny_config):
+        """recovery_kick cannot cure a stalled arbiter: deadlocked."""
+        injector = FaultInjector(permanent_stall(node=0, seed=2))
+        dog = ProgressWatchdog(WatchdogConfig(
+            window_cycles=200.0, remediate=True
+        ))
+        sim = NetworkSimulator(tiny_config, faults=injector, watchdog=dog)
+        sim.run()
+        assert not sim.drain(max_extra_cycles=2_000.0)
+        assert dog.remediations_attempted == 1
+        assert dog.deadlocked >= 1
+        assert dog.remediated == 0
+
+    def test_remediation_outcome_lands_in_the_trace(self, tiny_config, tmp_path):
+        trace = tmp_path / "kick.jsonl"
+        injector = FaultInjector(permanent_stall(node=0, seed=2))
+        dog = ProgressWatchdog(WatchdogConfig(
+            window_cycles=200.0, remediate=True
+        ))
+        sim = NetworkSimulator(
+            tiny_config,
+            telemetry=Telemetry(sink=JsonlSink(trace)),
+            faults=injector,
+            watchdog=dog,
+        )
+        sim.run()
+        sim.drain(max_extra_cycles=2_000.0)
+
+        from repro.obs.analysis import summarize_trace
+
+        summary = summarize_trace(trace)
+        assert summary.event_counts.get("watchdog-remediation", 0) >= 1
+        counts = summary.resilience_counts()
+        assert counts["watchdog_remediations"] >= 1
+
+
 class TestTelemetryIntegration:
     def test_watchdog_event_lands_in_the_trace(self, tiny_config, tmp_path):
         """Acceptance: the stall diagnostic is readable via repro obs."""
