@@ -22,14 +22,26 @@ from repro.sim.config import (
 from repro.sim.timing_model import NetworkSimulator
 
 
+def _record_configs_rate(perf_record, benchmark, configs: int) -> None:
+    """configs simulated per second, from the measured run."""
+    elapsed = benchmark.stats.stats.mean
+    if elapsed > 0:
+        perf_record.metric(
+            "configs_per_s", configs / elapsed, unit="configs/s"
+        )
+
+
 @pytest.mark.repro("text claim T1: ~5% throughput per arbitration cycle")
-def test_arb_latency_cost(benchmark):
-    result = benchmark.pedantic(
-        run_arb_latency_cost,
-        kwargs={"preset": "smoke", "latencies": (3, 5, 8)},
-        iterations=1,
-        rounds=1,
-    )
+def test_arb_latency_cost(benchmark, perf_record):
+    latencies = (3, 5, 8)
+    with perf_record.phase("ablation"):
+        result = benchmark.pedantic(
+            run_arb_latency_cost,
+            kwargs={"preset": "smoke", "latencies": latencies},
+            iterations=1,
+            rounds=1,
+        )
+    _record_configs_rate(perf_record, benchmark, len(latencies))
     print()
     for latency, throughput in zip(result.latencies, result.throughputs):
         print(f"  arb latency {latency} cycles -> {throughput:.3f} flits/router/ns")
@@ -41,13 +53,17 @@ def test_arb_latency_cost(benchmark):
 
 
 @pytest.mark.repro("text claim T2: pipelining alone buys SPAA ~8%")
-def test_pipelining_gain(benchmark):
-    result = benchmark.pedantic(
-        run_pipelining_gain,
-        kwargs={"preset": "smoke", "rates": (0.01, 0.03, 0.045)},
-        iterations=1,
-        rounds=1,
-    )
+def test_pipelining_gain(benchmark, perf_record):
+    rates = (0.01, 0.03, 0.045)
+    with perf_record.phase("ablation"):
+        result = benchmark.pedantic(
+            run_pipelining_gain,
+            kwargs={"preset": "smoke", "rates": rates},
+            iterations=1,
+            rounds=1,
+        )
+    # Two configs (pipelined vs not) per swept rate.
+    _record_configs_rate(perf_record, benchmark, 2 * len(rates))
     print(f"\n  pipelining-only gain @122ns: {result.gain_at_target:+.1%} (paper ~+8%)")
     assert result.gain_at_target > 0.0
 
@@ -57,7 +73,7 @@ def _point(config: SimulationConfig) -> float:
 
 
 @pytest.mark.repro("ablation: SPAA nomination fan-out 1 vs 2")
-def test_single_output_nomination_ablation(benchmark):
+def test_single_output_nomination_ablation(benchmark, perf_record):
     """What if SPAA nominated to both adaptive outputs like PIM/WFA?
 
     Fan-out 2 would forbid the speculative buffer read and require
@@ -82,7 +98,9 @@ def test_single_output_nomination_ablation(benchmark):
         fanout1 = _point(replace(base, algorithm="SPAA-base"))
         return fanout1, fanout2
 
-    fanout1, fanout2 = benchmark.pedantic(run, iterations=1, rounds=1)
+    with perf_record.phase("ablation"):
+        fanout1, fanout2 = benchmark.pedantic(run, iterations=1, rounds=1)
+    _record_configs_rate(perf_record, benchmark, 2)
     print(f"\n  fan-out 1 (SPAA): {fanout1:.3f}, fan-out 2 (WFA grant): {fanout2:.3f}")
     # Both must deliver comparable throughput at SPAA's timing: the
     # matching-quality edge of fan-out 2 is small on a lightly-popped
@@ -92,7 +110,7 @@ def test_single_output_nomination_ablation(benchmark):
 
 
 @pytest.mark.repro("ablation: buffer partition depth")
-def test_buffer_depth_ablation(benchmark):
+def test_buffer_depth_ablation(benchmark, perf_record):
     """Deeper adaptive partitions postpone back-pressure; the paper's
     tree saturation needs buffers that can actually fill."""
     plans = {
@@ -119,7 +137,9 @@ def test_buffer_depth_ablation(benchmark):
             results[name] = _point(config)
         return results
 
-    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    with perf_record.phase("ablation"):
+        results = benchmark.pedantic(run, iterations=1, rounds=1)
+    _record_configs_rate(perf_record, benchmark, len(plans))
     print(f"\n  beyond-saturation throughput: {results}")
     # Deep buffers absorb the tree: delivered throughput must be at
     # least as good as with lean buffers at the same overload.

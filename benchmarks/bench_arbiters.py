@@ -39,25 +39,38 @@ def _single_output_nominations(rng: random.Random) -> list[Nomination]:
 FREE = frozenset(range(7))
 
 
+def _record_arbitration_rate(perf_record, benchmark) -> None:
+    """arbitrations/sec from the benchmark's measured mean call time."""
+    mean_s = benchmark.stats.stats.mean
+    if mean_s > 0:
+        perf_record.metric(
+            "arbitrations_per_s", 1.0 / mean_s, unit="calls/s"
+        )
+
+
 @pytest.mark.parametrize(
     "name", ["MCM", "PIM", "PIM1", "WFA-base", "WFA-rotary"]
 )
-def test_multi_output_arbiter_speed(benchmark, name):
+def test_multi_output_arbiter_speed(benchmark, perf_record, name):
     rng = random.Random(42)
     arbiter = make_arbiter(
         name, ArbiterContext(16, 7, network_rows(), random.Random(1))
     )
     noms = _multi_output_nominations(rng)
-    grants = benchmark(arbiter.arbitrate, noms, FREE)
+    with perf_record.phase("arbitration"):
+        grants = benchmark(arbiter.arbitrate, noms, FREE)
     assert grants
+    _record_arbitration_rate(perf_record, benchmark)
 
 
 @pytest.mark.parametrize("name", ["SPAA-base", "SPAA-rotary", "OPF"])
-def test_single_output_arbiter_speed(benchmark, name):
+def test_single_output_arbiter_speed(benchmark, perf_record, name):
     rng = random.Random(42)
     arbiter = make_arbiter(
         name, ArbiterContext(16, 7, network_rows(), random.Random(1))
     )
     noms = _single_output_nominations(rng)
-    grants = benchmark(arbiter.arbitrate, noms, FREE)
+    with perf_record.phase("arbitration"):
+        grants = benchmark(arbiter.arbitrate, noms, FREE)
     assert grants
+    _record_arbitration_rate(perf_record, benchmark)

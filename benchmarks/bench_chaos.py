@@ -24,11 +24,15 @@ from repro.chaos import (
 )
 
 
-def test_scenario_generation_is_cheap():
+def test_scenario_generation_is_cheap(perf_record):
     started = time.perf_counter()
-    scenarios = generate_scenarios(7, 1_000)
+    with perf_record.phase("generation"):
+        scenarios = generate_scenarios(7, 1_000)
     elapsed = time.perf_counter() - started
     rate = len(scenarios) / elapsed
+    perf_record.metric(
+        "scenarios_generated_per_s", rate, unit="scenarios/s"
+    )
     print(f"\nscenario generation: {rate:,.0f} scenarios/s")
     assert rate > 5_000, (
         f"generating scenarios hit {rate:,.0f}/s; regeneration on "
@@ -38,7 +42,7 @@ def test_scenario_generation_is_cheap():
     assert scenarios == generate_scenarios(7, 1_000)
 
 
-def test_tiny_campaign_wall_time_and_determinism(tmp_path):
+def test_tiny_campaign_wall_time_and_determinism(tmp_path, perf_record):
     def run_once(name: str):
         config = CampaignConfig(
             output_dir=tmp_path / name,
@@ -48,12 +52,19 @@ def test_tiny_campaign_wall_time_and_determinism(tmp_path):
             traces=False,
         )
         started = time.perf_counter()
-        result = run_campaign(config)
+        with perf_record.phase("campaign"):
+            result = run_campaign(config)
         return result, time.perf_counter() - started
 
     first, elapsed = run_once("a")
     second, _ = run_once("b")
     per_scenario = elapsed / len(first.scenarios)
+    perf_record.metric(
+        "campaign_scenarios_per_s",
+        len(first.scenarios) / elapsed,
+        unit="scenarios/s",
+    )
+    perf_record.note(seconds_per_scenario=per_scenario)
     print(
         f"\ntiny campaign: {elapsed:.2f}s for {len(first.scenarios)} "
         f"scenario(s) ({per_scenario:.2f}s each), "

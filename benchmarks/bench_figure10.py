@@ -24,15 +24,37 @@ def _reduced(panel: Panel, rates: tuple[float, ...]) -> Panel:
     )
 
 
+def _record_sweep_metrics(perf_record, benchmark, curves) -> None:
+    """Sweep throughput metrics from the measured panel run."""
+    elapsed = benchmark.stats.stats.mean
+    if elapsed <= 0:
+        return
+    points = sum(len(curve.points) for curve in curves.values())
+    delivered = sum(
+        point.packets_delivered
+        for curve in curves.values()
+        for point in curve.points
+    )
+    perf_record.metric("sweep_points_per_s", points / elapsed, unit="points/s")
+    perf_record.metric(
+        "packets_delivered_per_s", delivered / elapsed, unit="packets/s"
+    )
+
+
 @pytest.mark.repro("figure-10 (4x4 random panel)")
-def test_figure10_4x4_random(benchmark):
+def test_figure10_4x4_random(benchmark, perf_record):
     panel = _reduced(PANELS[0], (0.005, 0.02, 0.045, 0.065))
     curves = benchmark.pedantic(
         run_panel,
-        kwargs={"panel": panel, "preset": "smoke"},
+        kwargs={
+            "panel": panel,
+            "preset": "smoke",
+            "profile_into": perf_record.profiler,
+        },
         iterations=1,
         rounds=1,
     )
+    _record_sweep_metrics(perf_record, benchmark, curves)
 
     print()
     for label, curve in curves.items():
@@ -55,7 +77,7 @@ def test_figure10_4x4_random(benchmark):
 
 
 @pytest.mark.repro("figure-10 (8x8 saturation fold-back)")
-def test_figure10_8x8_rotary_rescues_saturation(benchmark):
+def test_figure10_8x8_rotary_rescues_saturation(benchmark, perf_record):
     """Beyond saturation, base collapses while rotary keeps delivering."""
     panel = _reduced(PANELS[1], (0.02, 0.06))
 
@@ -64,9 +86,11 @@ def test_figure10_8x8_rotary_rescues_saturation(benchmark):
             panel,
             preset="smoke",
             algorithms=("SPAA-base", "SPAA-rotary"),
+            profile_into=perf_record.profiler,
         )
 
     curves = benchmark.pedantic(run, iterations=1, rounds=1)
+    _record_sweep_metrics(perf_record, benchmark, curves)
     base = curves["SPAA-base"].points
     rotary = curves["SPAA-rotary"].points
 

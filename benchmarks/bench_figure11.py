@@ -20,15 +20,38 @@ def _reduced(panel: ScalingPanel, rates: tuple[float, ...]) -> ScalingPanel:
     )
 
 
+def _record_sweep_metrics(perf_record, benchmark, curves) -> None:
+    """Sweep throughput metrics from the measured panel run."""
+    elapsed = benchmark.stats.stats.mean
+    if elapsed <= 0:
+        return
+    points = sum(len(curve.points) for curve in curves.values())
+    delivered = sum(
+        point.packets_delivered
+        for curve in curves.values()
+        for point in curve.points
+    )
+    perf_record.metric("sweep_points_per_s", points / elapsed, unit="points/s")
+    perf_record.metric(
+        "packets_delivered_per_s", delivered / elapsed, unit="packets/s"
+    )
+
+
 @pytest.mark.repro("figure-11a (2x pipeline)")
-def test_figure11a_deep_pipeline(benchmark):
+def test_figure11a_deep_pipeline(benchmark, perf_record):
     """With a 2x-deep pipeline only SPAA stays pipelined: it must win
     decisively (paper: >60% at ~100 ns)."""
     panel = _reduced(PANELS[0], (0.02, 0.06, 0.11))
     curves = benchmark.pedantic(
-        run_panel, kwargs={"panel": panel, "preset": "smoke"},
+        run_panel,
+        kwargs={
+            "panel": panel,
+            "preset": "smoke",
+            "profile_into": perf_record.profiler,
+        },
         iterations=1, rounds=1,
     )
+    _record_sweep_metrics(perf_record, benchmark, curves)
 
     print()
     for label, curve in curves.items():
@@ -42,12 +65,18 @@ def test_figure11a_deep_pipeline(benchmark):
 
 
 @pytest.mark.repro("figure-11b (64 outstanding misses)")
-def test_figure11b_more_outstanding_misses(benchmark):
+def test_figure11b_more_outstanding_misses(benchmark, perf_record):
     panel = _reduced(PANELS[1], (0.02, 0.05))
     curves = benchmark.pedantic(
-        run_panel, kwargs={"panel": panel, "preset": "smoke"},
+        run_panel,
+        kwargs={
+            "panel": panel,
+            "preset": "smoke",
+            "profile_into": perf_record.profiler,
+        },
         iterations=1, rounds=1,
     )
+    _record_sweep_metrics(perf_record, benchmark, curves)
     spaa = curves["SPAA-rotary"]
     wfa = curves["WFA-rotary"]
     print()
@@ -59,7 +88,7 @@ def test_figure11b_more_outstanding_misses(benchmark):
 
 
 @pytest.mark.repro("figure-11c (12x12 network)")
-def test_figure11c_larger_network(benchmark):
+def test_figure11c_larger_network(benchmark, perf_record):
     panel = _reduced(PANELS[2], (0.015, 0.04))
     with pytest.warns(UserWarning, match="128-processor limit"):
         curves = benchmark.pedantic(
@@ -71,9 +100,11 @@ def test_figure11c_larger_network(benchmark):
                 # expensive config; the paper's panel-c claim is about
                 # SPAA-rotary vs WFA-rotary.
                 "algorithms": ("SPAA-rotary", "WFA-rotary"),
+                "profile_into": perf_record.profiler,
             },
             iterations=1, rounds=1,
         )
+    _record_sweep_metrics(perf_record, benchmark, curves)
     spaa = curves["SPAA-rotary"]
     wfa = curves["WFA-rotary"]
     print()

@@ -16,6 +16,7 @@ number quoted in docs/observability.md.
 
 from __future__ import annotations
 
+import statistics
 import time
 
 from repro.obs.sink import MemorySink
@@ -41,12 +42,15 @@ def _time_run(telemetry) -> float:
     return time.perf_counter() - started
 
 
-def _interleaved_minima(telemetry_a, telemetry_b, repeats: int = 7):
-    """Best-of-N wall times of two variants, sampled alternately.
+def _interleaved_medians(telemetry_a, telemetry_b, repeats: int = 7):
+    """Median-of-N wall times of two variants, sampled alternately.
 
-    Interleaving cancels slow drift (thermal, page cache) and the
-    minimum is the classic noise-robust estimator: scheduler hiccups
-    only ever add time.  The first pair is a discarded warmup.
+    Interleaving cancels slow drift (thermal, page cache).  The median
+    is robust against scheduler hiccups on *both* sides: best-of-N
+    compares each variant's single luckiest run, so one outlier-fast
+    sample flips the measured sign of a sub-percent overhead; the
+    median needs half the samples to be disturbed before it moves.
+    The first pair is a discarded warmup.
     """
     _time_run(telemetry_a)
     _time_run(telemetry_b)
@@ -60,12 +64,18 @@ def _interleaved_minima(telemetry_a, telemetry_b, repeats: int = 7):
         else:
             times_b.append(_time_run(telemetry_b))
             times_a.append(_time_run(telemetry_a))
-    return min(times_a), min(times_b)
+    return statistics.median(times_a), statistics.median(times_b)
 
 
-def test_disabled_telemetry_overhead_under_two_percent():
-    baseline, nulled = _interleaved_minima(None, NULL_TELEMETRY)
+def test_disabled_telemetry_overhead_under_two_percent(perf_record):
+    with perf_record.phase("interleaved-runs"):
+        baseline, nulled = _interleaved_medians(None, NULL_TELEMETRY)
     overhead = nulled / baseline - 1.0
+    # The gated metric is the baseline simulation rate (higher is
+    # better); the near-zero, sign-flipping overhead fraction is
+    # context, not a gateable trajectory.
+    perf_record.metric("sim_runs_per_s", 1.0 / baseline, unit="runs/s")
+    perf_record.note(disabled_overhead_fraction=overhead)
     print(
         f"\ndisabled-telemetry overhead: {overhead:+.2%} "
         f"(baseline {baseline:.3f}s, with null telemetry {nulled:.3f}s)"
@@ -76,9 +86,12 @@ def test_disabled_telemetry_overhead_under_two_percent():
     )
 
 
-def test_counters_only_overhead_is_moderate():
-    baseline, counted = _interleaved_minima(None, Telemetry())
+def test_counters_only_overhead_is_moderate(perf_record):
+    with perf_record.phase("interleaved-runs"):
+        baseline, counted = _interleaved_medians(None, Telemetry())
     overhead = counted / baseline - 1.0
+    perf_record.metric("sim_runs_per_s", 1.0 / baseline, unit="runs/s")
+    perf_record.note(counters_overhead_fraction=overhead)
     print(
         f"\ncounters-only overhead: {overhead:+.2%} "
         f"(baseline {baseline:.3f}s, with counters {counted:.3f}s)"
@@ -89,16 +102,20 @@ def test_counters_only_overhead_is_moderate():
     assert overhead < 0.5
 
 
-def test_event_tracing_runs_and_reports():
+def test_event_tracing_runs_and_reports(perf_record):
     """Events mode: no gate, just the measured number for the docs."""
-    baseline, traced = _interleaved_minima(
-        None, None, repeats=3
-    )  # re-time baseline cheaply for a fair denominator
+    with perf_record.phase("interleaved-runs"):
+        baseline, traced = _interleaved_medians(
+            None, None, repeats=3
+        )  # re-time baseline cheaply for a fair denominator
     del traced
     simulator = NetworkSimulator(_config(), telemetry=Telemetry(sink=MemorySink()))
     started = time.perf_counter()
-    simulator.run()
+    with perf_record.phase("traced-run"):
+        simulator.run()
     traced = time.perf_counter() - started
+    perf_record.metric("sim_runs_per_s", 1.0 / baseline, unit="runs/s")
+    perf_record.note(tracing_overhead_fraction=traced / baseline - 1.0)
     print(
         f"\nfull event tracing (memory sink): {traced / baseline - 1.0:+.2%} "
         f"over baseline {baseline:.3f}s"

@@ -43,10 +43,11 @@ def _config() -> SimulationConfig:
     )
 
 
-def _timed_sweep(workers: int) -> tuple[float, dict]:
+def _timed_sweep(workers: int, profile_into=None) -> tuple[float, dict]:
     started = time.perf_counter()
     curves = sweep_algorithms(
-        _config(), TIMING_ALGORITHMS, RATES, workers=workers
+        _config(), TIMING_ALGORITHMS, RATES, workers=workers,
+        profile_into=profile_into,
     )
     return time.perf_counter() - started, curves
 
@@ -60,17 +61,30 @@ def _flatten(curves: dict) -> dict:
 
 
 @pytest.mark.repro("parallel sweep runner: scaling and serial parity")
-def test_parallel_sweep_scaling(benchmark):
+def test_parallel_sweep_scaling(benchmark, perf_record):
     cores = os.cpu_count() or 1
+    npoints = len(TIMING_ALGORITHMS) * len(RATES)
+    # Both the serial and the pooled runs profile into the same record:
+    # the parity gate below compares full point dicts (counters
+    # included), so every run must attach identical telemetry.
     serial_time, serial_curves = benchmark.pedantic(
-        _timed_sweep, args=(1,), iterations=1, rounds=1
+        _timed_sweep, args=(1, perf_record.profiler), iterations=1, rounds=1
     )
-    print(f"\n  {len(TIMING_ALGORITHMS) * len(RATES)} points, {cores} cores")
+    print(f"\n  {npoints} points, {cores} cores")
     print(f"  workers=1: {serial_time:6.2f}s  (speedup 1.00x)")
+    if serial_time > 0:
+        perf_record.metric(
+            "serial_points_per_s", npoints / serial_time, unit="points/s"
+        )
     speedups = {1: 1.0}
     for workers in (2, 4):
-        parallel_time, parallel_curves = _timed_sweep(workers)
+        parallel_time, parallel_curves = _timed_sweep(
+            workers, perf_record.profiler
+        )
         speedups[workers] = serial_time / parallel_time
+        perf_record.metric(
+            f"speedup_{workers}_workers", speedups[workers], unit="x"
+        )
         print(
             f"  workers={workers}: {parallel_time:6.2f}s  "
             f"(speedup {speedups[workers]:.2f}x)"

@@ -1,4 +1,4 @@
-"""Shared benchmark configuration.
+"""Shared benchmark configuration and the perf-record plugin.
 
 Benchmarks regenerate each paper figure at reduced scale (the ``smoke``
 / ``fast`` presets) so ``pytest benchmarks/ --benchmark-only`` finishes
@@ -6,16 +6,35 @@ in minutes; the full-scale regeneration is ``repro-experiments all
 --preset paper``.  Each benchmark also *checks the paper's shape
 claims* on its output, so a performance run doubles as a reproduction
 check.
+
+Every bench takes the ``perf_record`` fixture and registers at least
+one domain throughput metric on it (``repro obs perf check`` enforces
+this statically).  At session end the collected records are written as
+``BENCH_<area>.json`` at the repo root and appended to
+``results/perf/history.jsonl`` -- see :mod:`repro.obs.perf` and the
+"Perf trajectory" section of docs/observability.md.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from pathlib import Path
+
 import pytest
+
+from repro.obs.perf import PerfRecorder, PerfSession
+
+#: where BENCH_<area>.json land (the repository root).
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "repro(figure): marks which paper figure a benchmark regenerates"
+    )
+    config._repro_perf_session = PerfSession(
+        preset=os.environ.get("REPRO_BENCH_PRESET", "smoke")
     )
 
 
@@ -23,3 +42,42 @@ def pytest_configure(config):
 def standalone_trials() -> int:
     """Trials per standalone point (paper: 1000; benches use fewer)."""
     return 300
+
+
+@pytest.fixture
+def perf_record(request) -> PerfRecorder:
+    """Structured perf record for one bench (see repro.obs.perf).
+
+    Yields a :class:`~repro.obs.perf.PerfRecorder`; the bench registers
+    domain metrics (``perf_record.metric``), attributes time to phases
+    (``perf_record.phase`` / ``profile_into=perf_record.profiler``) and
+    the fixture times the test body and files the record with the
+    session.
+    """
+    recorder = PerfRecorder(
+        name=request.node.name,
+        module=Path(str(request.node.fspath)).stem,
+    )
+    began = time.perf_counter()
+    yield recorder
+    wall_s = time.perf_counter() - began
+    request.config._repro_perf_session.add(recorder.finish(wall_s))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    perf_session = getattr(session.config, "_repro_perf_session", None)
+    if perf_session is None or not perf_session.has_records:
+        return
+    paths = perf_session.write(REPO_ROOT)
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    if reporter is not None:
+        reporter.write_line(
+            "perf records: "
+            + ", ".join(path.name for path in paths)
+            + f" (+{len(paths)} history lines)"
+        )
+        for module in sorted(perf_session.unmapped_modules):
+            reporter.write_line(
+                f"perf records: WARNING {module} has no area mapping "
+                "(add it to repro.obs.perf.MODULE_AREAS)"
+            )

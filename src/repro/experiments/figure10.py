@@ -142,6 +142,7 @@ def run_panel(
     telemetry_dir=None,
     guard: SweepGuard | None = None,
     workers: int = 1,
+    profile_into=None,
 ) -> dict[str, BNFCurve]:
     """Sweep one Figure 10 panel.
 
@@ -153,6 +154,10 @@ def run_panel(
     the journal is scoped per panel.  With ``workers > 1`` the panel's
     (algorithm, rate) points run in a process pool (see
     :mod:`repro.sim.parallel`) with bitwise identical per-point stats.
+    With *profile_into* (a :class:`~repro.obs.profiler.PhaseProfiler`)
+    every point's arbitration/traversal/delivery wall-time attribution
+    is merged into it -- this is how the benchmark suite's perf records
+    learn where a panel's time went.
     """
     config = panel_config(panel, preset, seed)
     if telemetry_dir is not None:
@@ -167,6 +172,7 @@ def run_panel(
         progress,
         telemetry_dir=telemetry_dir,
         workers=workers,
+        profile_into=profile_into,
         **guard_kwargs,
     )
 

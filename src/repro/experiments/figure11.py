@@ -121,12 +121,15 @@ def run_panel(
     telemetry_dir=None,
     guard: SweepGuard | None = None,
     workers: int = 1,
+    profile_into=None,
 ) -> dict[str, BNFCurve]:
     """Sweep one Figure 11 panel, optionally guarded (see SweepGuard).
 
     ``workers > 1`` fans the panel's points out over a process pool
     (see :mod:`repro.sim.parallel`); per-point results stay bitwise
-    identical to a serial run.
+    identical to a serial run.  *profile_into* (a
+    :class:`~repro.obs.profiler.PhaseProfiler`) accumulates every
+    point's per-phase wall-time attribution.
     """
     config = panel_config(panel, preset, seed)
     if telemetry_dir is not None:
@@ -141,6 +144,7 @@ def run_panel(
         progress,
         telemetry_dir=telemetry_dir,
         workers=workers,
+        profile_into=profile_into,
         **guard_kwargs,
     )
 

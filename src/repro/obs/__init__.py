@@ -17,7 +17,10 @@ package makes them measurable:
   with a :data:`~repro.obs.telemetry.NULL_TELEMETRY` fast path so
   disabled telemetry costs one branch;
 * :mod:`repro.obs.analysis` / :mod:`repro.obs.cli` -- the
-  ``repro obs`` trace reader (``summarize`` / ``diff`` / ``ports``).
+  ``repro obs`` trace reader (``summarize`` / ``diff`` / ``ports``);
+* :mod:`repro.obs.perf` -- structured benchmark records
+  (``BENCH_<area>.json``), the append-only perf trajectory and the
+  regression gate behind ``repro obs perf``.
 
 Quickstart::
 
@@ -30,6 +33,7 @@ Quickstart::
 """
 
 from repro.obs.analysis import (
+    MetricDelta,
     TraceSummary,
     diff_summaries,
     summarize_trace,
@@ -44,6 +48,16 @@ from repro.obs.events import (
     StarvationEvent,
 )
 from repro.obs.manifest import RunManifest
+from repro.obs.perf import (
+    AreaRecord,
+    BenchMetric,
+    BenchRecord,
+    GateReport,
+    GateViolation,
+    PerfRecorder,
+    PerfSession,
+    run_gate,
+)
 from repro.obs.profiler import PhaseProfiler, PhaseSummary
 from repro.obs.registry import (
     Counter,
@@ -57,18 +71,26 @@ from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 __all__ = [
     "NULL_TELEMETRY",
     "OBS_SCHEMA_VERSION",
+    "AreaRecord",
+    "BenchMetric",
+    "BenchRecord",
     "ConflictEvent",
     "Counter",
     "DeliveryEvent",
     "Gauge",
+    "GateReport",
+    "GateViolation",
     "GrantEvent",
     "Histogram",
     "InjectionEvent",
     "JsonlSink",
     "MemorySink",
+    "MetricDelta",
     "MetricsRegistry",
     "NominationEvent",
     "NullSink",
+    "PerfRecorder",
+    "PerfSession",
     "PhaseProfiler",
     "PhaseSummary",
     "RunManifest",
@@ -78,5 +100,6 @@ __all__ = [
     "TraceSummary",
     "diff_summaries",
     "read_jsonl",
+    "run_gate",
     "summarize_trace",
 ]

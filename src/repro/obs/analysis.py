@@ -152,6 +152,43 @@ class TraceSummary:
         for entry in snap.get("series", ()):
             yield tuple(entry.get("labels", ())), entry.get("value", 0.0)
 
+    def as_dict(self) -> dict:
+        """Machine-readable digest (the ``--json`` form of ``summarize``).
+
+        Carries the derived views sweep tooling wants -- arbitration
+        counts, headline totals, per-output utilization, resilience
+        totals, the phase profile -- not the raw counters snapshot
+        (stream the trace again for that).
+        """
+        by_output = {
+            output_port_name(output): {"mean": mean, "max": peak}
+            for output, (mean, peak) in self.utilization_by_output().items()
+        }
+        manifest = self.manifest.to_record() if self.manifest else None
+        if manifest is not None:
+            manifest.pop("kind", None)
+        return {
+            "path": self.path,
+            "algorithm": self.algorithm,
+            "manifest": manifest,
+            "arbitration": self.arbitration_counts(),
+            "totals": {
+                name: self.scalar(name)
+                for name in (
+                    "sim_injections_total",
+                    "sim_deliveries_total",
+                    "router_speculation_drops_total",
+                    "router_starvation_engagements_total",
+                )
+            },
+            "mean_latency_cycles": self.mean_latency_cycles(),
+            "wall_time_s": self.wall_time_s,
+            "resilience": self.resilience_counts(),
+            "utilization_by_output": by_output,
+            "event_counts": dict(self.event_counts),
+            "profile": list(self.profile),
+        }
+
 
 def summarize_trace(path: str | Path, strict_schema: bool = True) -> TraceSummary:
     """Stream one JSONL trace into a :class:`TraceSummary`."""
@@ -216,6 +253,27 @@ class MetricDelta:
         if self.a == 0:
             return None
         return self.delta / self.a
+
+    @property
+    def relative_text(self) -> str:
+        """Human form of :attr:`relative`; ``n/a`` on a zero baseline.
+
+        Every renderer must go through this (not format the float
+        directly): a zero-baseline delta has no relative change, and a
+        bare ``None`` would otherwise reach a format spec and crash.
+        """
+        relative = self.relative
+        return "n/a" if relative is None else f"{relative:+.1%}"
+
+    def as_dict(self) -> dict:
+        """JSON form; ``relative`` is ``null`` on a zero baseline."""
+        return {
+            "name": self.name,
+            "a": self.a,
+            "b": self.b,
+            "delta": self.delta,
+            "relative": self.relative,
+        }
 
 
 def diff_summaries(a: TraceSummary, b: TraceSummary) -> list[MetricDelta]:

@@ -1,25 +1,37 @@
-"""``repro obs`` -- inspect JSONL telemetry traces from the CLI.
+"""``repro obs`` -- inspect traces and perf records from the CLI.
 
-Three subcommands::
+Trace subcommands (``summarize`` / ``diff`` take ``--json`` for
+machine-readable output)::
 
     repro-obs summarize trace.jsonl          # manifest + counters + ports
     repro-obs diff base.jsonl contender.jsonl
     repro-obs ports trace.jsonl --top 10     # busiest (node, port) pairs
 
+Perf-trajectory subcommands (see :mod:`repro.obs.perf` and the "Perf
+trajectory" section of docs/observability.md)::
+
+    repro-obs perf report                    # render history.jsonl
+    repro-obs perf diff BENCH_a.json BENCH_b.json
+    repro-obs perf gate --tolerance 0.5      # fail on regressions
+    repro-obs perf check benchmarks/         # lint: benches feed the plugin
+
 Also reachable as ``repro-experiments obs ...`` and
 ``python -m repro.obs ...``; the traces come from any run with a
 :class:`repro.obs.sink.JsonlSink` attached -- e.g.
 ``sweep_algorithm(..., telemetry_dir=...)`` or
-``repro-experiments fig10 --telemetry-dir runs/``.
+``repro-experiments fig10 --telemetry-dir runs/`` -- and the perf
+records from ``PYTHONPATH=src python -m pytest benchmarks/ -q -s``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.experiments.report import format_table
+from repro.obs import perf
 from repro.obs.analysis import (
     TraceSummary,
     diff_summaries,
@@ -150,22 +162,32 @@ def _render_summary(summary: TraceSummary) -> str:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> str:
-    return "\n\n\n".join(
-        _render_summary(summarize_trace(path)) for path in args.traces
-    )
+    summaries = [summarize_trace(path) for path in args.traces]
+    if args.json:
+        return json.dumps([s.as_dict() for s in summaries], indent=2)
+    return "\n\n\n".join(_render_summary(s) for s in summaries)
 
 
 def _cmd_diff(args: argparse.Namespace) -> str:
     summary_a = summarize_trace(args.trace_a)
     summary_b = summarize_trace(args.trace_b)
-    rows = []
-    for delta in diff_summaries(summary_a, summary_b):
-        if delta.a == 0 and delta.b == 0:
-            continue
-        relative = (
-            "n/a" if delta.relative is None else f"{delta.relative:+.1%}"
+    deltas = [
+        delta for delta in diff_summaries(summary_a, summary_b)
+        if delta.a != 0 or delta.b != 0
+    ]
+    if args.json:
+        return json.dumps(
+            {
+                "a": str(summary_a.path),
+                "b": str(summary_b.path),
+                "deltas": [delta.as_dict() for delta in deltas],
+            },
+            indent=2,
         )
-        rows.append((delta.name, f"{delta.a:g}", f"{delta.b:g}", relative))
+    rows = [
+        (delta.name, f"{delta.a:g}", f"{delta.b:g}", delta.relative_text)
+        for delta in deltas
+    ]
     title = (
         f"A = {summary_a.path} ({summary_a.algorithm})\n"
         f"B = {summary_b.path} ({summary_b.algorithm})"
@@ -198,6 +220,120 @@ def _cmd_ports(args: argparse.Namespace) -> str:
     )
 
 
+# -- perf trajectory subcommands -------------------------------------------
+
+
+def _history_path(args: argparse.Namespace) -> Path:
+    if args.history is not None:
+        return args.history
+    return Path(args.root) / perf.HISTORY_RELPATH
+
+
+def _cmd_perf_report(args: argparse.Namespace) -> str:
+    history = perf.load_history(_history_path(args))
+    if args.area:
+        history = [r for r in history if r.area in set(args.area)]
+    if args.json:
+        return json.dumps([r.to_dict() for r in history], indent=2)
+    if not history:
+        return "(no perf history -- run the benchmarks and the gate first)"
+    parts = []
+    latest_by_area: dict[str, perf.AreaRecord] = {}
+    rows = []
+    for record in history:
+        latest_by_area[record.area] = record
+        wall = sum(bench.wall_s for bench in record.benches)
+        rows.append((
+            record.area,
+            record.created_at[:19],
+            record.git_sha[:9],
+            record.preset,
+            record.run_id,
+            len(record.benches),
+            f"{wall:.2f}",
+        ))
+    parts.append(format_table(
+        ("area", "created", "sha", "preset", "run", "benches", "wall (s)"),
+        rows,
+        title=f"Perf trajectory ({_history_path(args)})",
+    ))
+    for area in sorted(latest_by_area):
+        record = latest_by_area[area]
+        bench_rows = []
+        for bench in record.benches:
+            metrics = ", ".join(
+                f"{m.name}={m.value:g}{(' ' + m.unit) if m.unit else ''}"
+                for m in bench.metrics
+            )
+            phases = ", ".join(
+                f"{p['name']}={p['seconds']:.3f}s" for p in bench.phases
+            )
+            bench_rows.append(
+                (bench.name, f"{bench.wall_s:.3f}", metrics, phases or "-")
+            )
+        parts.append(format_table(
+            ("bench", "wall (s)", "metrics", "phases"),
+            bench_rows,
+            title=f"Latest {area} record (run {record.run_id}, "
+                  f"preset={record.preset})",
+        ))
+    return "\n\n".join(parts)
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> str:
+    record_a = perf.AreaRecord.load(args.record_a)
+    record_b = perf.AreaRecord.load(args.record_b)
+    deltas = perf.diff_area_records(record_a, record_b)
+    if args.json:
+        return json.dumps(
+            {
+                "a": {"path": str(args.record_a), "run_id": record_a.run_id},
+                "b": {"path": str(args.record_b), "run_id": record_b.run_id},
+                "deltas": [delta.as_dict() for delta in deltas],
+            },
+            indent=2,
+        )
+    rows = [
+        (delta.name, f"{delta.a:g}", f"{delta.b:g}", delta.relative_text)
+        for delta in deltas
+    ]
+    title = (
+        f"A = {args.record_a} (run {record_a.run_id}, {record_a.preset})\n"
+        f"B = {args.record_b} (run {record_b.run_id}, {record_b.preset})"
+    )
+    return format_table(("metric", "A", "B", "B vs A"), rows, title=title)
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> tuple[str, int]:
+    report = perf.run_gate(
+        root=args.root,
+        history_path=args.history,
+        tolerance=args.tolerance,
+        areas=args.area or None,
+    )
+    if args.json:
+        return json.dumps(report.to_dict(), indent=2), 0 if report.ok else 1
+    lines = [
+        f"perf gate ({_history_path(args)}, tolerance {args.tolerance:.0%}):"
+    ]
+    for area in sorted(report.statuses):
+        lines.append(f"  {area}: {report.statuses[area]}")
+    for violation in report.violations:
+        lines.append(f"  FAIL {violation.describe()}")
+    lines.append("gate: " + ("PASS" if report.ok else "FAIL"))
+    return "\n".join(lines), 0 if report.ok else 1
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> tuple[str, int]:
+    problems = perf.check_bench_coverage(args.bench_dir)
+    if problems:
+        lines = [f"perf check: {len(problems)} problem(s) in {args.bench_dir}"]
+        lines.extend(f"  {problem}" for problem in problems)
+        return "\n".join(lines), 1
+    return f"perf check: every bench module under {args.bench_dir} records " \
+           "a domain metric via perf_record", 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro obs",
@@ -215,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="one-screen digest of one or more traces",
     )
     summarize.add_argument("traces", nargs="+", type=Path)
+    summarize.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     summarize.set_defaults(func=_cmd_summarize)
 
     diff = commands.add_parser(
@@ -222,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("trace_a", type=Path)
     diff.add_argument("trace_b", type=Path)
+    diff.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     diff.set_defaults(func=_cmd_diff)
 
     ports = commands.add_parser(
@@ -233,13 +375,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="show the N busiest (node, port) pairs; 0 = all (default 20)",
     )
     ports.set_defaults(func=_cmd_ports)
+
+    perf_cmd = commands.add_parser(
+        "perf", help="benchmark perf records: report, diff, gate, check"
+    )
+    perf_commands = perf_cmd.add_subparsers(dest="perf_command", required=True)
+
+    history_common = argparse.ArgumentParser(add_help=False)
+    history_common.add_argument(
+        "--root", type=Path, default=Path("."),
+        help="repo root holding BENCH_*.json (default: .)",
+    )
+    history_common.add_argument(
+        "--history", type=Path, default=None,
+        help=f"history file (default: <root>/{perf.HISTORY_RELPATH})",
+    )
+
+    report = perf_commands.add_parser(
+        "report", parents=[common, history_common],
+        help="render the perf trajectory and the latest per-area records",
+    )
+    report.add_argument(
+        "--area", action="append", choices=perf.AREAS,
+        help="restrict to an area (repeatable)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    report.set_defaults(func=_cmd_perf_report)
+
+    perf_diff = perf_commands.add_parser(
+        "diff", parents=[common],
+        help="compare two BENCH_<area>.json records metric by metric",
+    )
+    perf_diff.add_argument("record_a", type=Path)
+    perf_diff.add_argument("record_b", type=Path)
+    perf_diff.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    perf_diff.set_defaults(func=_cmd_perf_diff)
+
+    gate = perf_commands.add_parser(
+        "gate", parents=[common, history_common],
+        help="fail (exit 1) when current BENCH records regress vs history",
+    )
+    gate.add_argument(
+        "--tolerance", type=float, default=perf.DEFAULT_TOLERANCE,
+        help="allowed fractional regression per metric "
+             f"(default {perf.DEFAULT_TOLERANCE})",
+    )
+    gate.add_argument(
+        "--area", action="append", choices=perf.AREAS,
+        help="gate only this area (repeatable; default: all present)",
+    )
+    gate.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    gate.set_defaults(func=_cmd_perf_gate)
+
+    check = perf_commands.add_parser(
+        "check", parents=[common],
+        help="lint: every bench module must record >=1 domain metric",
+    )
+    check.add_argument(
+        "bench_dir", nargs="?", type=Path, default=Path("benchmarks")
+    )
+    check.set_defaults(func=_cmd_perf_check)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        text = args.func(args)
+        result = args.func(args)
+        text, code = result if isinstance(result, tuple) else (result, 0)
         print(text)
         if args.output is not None:
             args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -247,7 +456,7 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ValueError) as error:
         print(f"repro obs: {error}", file=sys.stderr)
         return 1
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -53,6 +53,44 @@ class PhaseProfiler:
         self._seconds[phase] = self._seconds.get(phase, 0.0) + elapsed
         self._samples[phase] = self._samples.get(phase, 0) + 1
 
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's accumulated samples into this one.
+
+        Bookkeeping, not sampling: it works regardless of either
+        profiler's ``enabled`` flag, so a parent can aggregate worker
+        profiles into a merged attribution (parallel sweeps, bench
+        records) without arming its own sampling hooks.
+        """
+        for name, seconds in other._seconds.items():
+            self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+            self._samples[name] = (
+                self._samples.get(name, 0) + other._samples[name]
+            )
+
+    def merge_record(self, record: dict) -> None:
+        """Fold a serialized ``profile`` record (see :meth:`to_record`) in.
+
+        This is how phase attribution crosses a process boundary: a
+        sweep worker serializes its profiler into the trace/result and
+        the parent merges the record, no live object required.
+        """
+        for entry in record.get("phases", ()):
+            name = str(entry["name"])
+            self._seconds[name] = self._seconds.get(name, 0.0) + float(
+                entry.get("seconds", 0.0)
+            )
+            self._samples[name] = self._samples.get(name, 0) + int(
+                entry.get("samples", 0)
+            )
+
+    @classmethod
+    def from_record(cls, record: dict) -> "PhaseProfiler":
+        """Rebuild a profiler from its ``profile`` record (inverse of
+        :meth:`to_record`, up to phase ordering)."""
+        profiler = cls(enabled=False)
+        profiler.merge_record(record)
+        return profiler
+
     def summaries(self) -> list[PhaseSummary]:
         """Phases sorted by descending total wall time."""
         return sorted(

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs.profiler import PhaseProfiler
 from repro.resilience.checkpoint import SweepJournal, rate_key
 from repro.resilience.faults import FaultConfig
 from repro.resilience.invariants import InvariantConfig
@@ -67,6 +68,9 @@ class PointSpec:
     watchdog: WatchdogConfig | None
     max_attempts: int
     retry_backoff_s: float
+    #: arm phase profiling in the worker; the per-point attribution
+    #: comes back serialized in :attr:`PointResult.profile`.
+    profile: bool = False
 
     @property
     def key(self) -> tuple[str, str]:
@@ -86,6 +90,9 @@ class PointResult:
     #: attempt order, so the parent can journal each failure exactly as
     #: the serial runner would have.
     failures: tuple[str, ...] = ()
+    #: the worker's serialized ``profile`` record (phase wall-time
+    #: attribution) when the spec asked for profiling, else ``None``.
+    profile: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -116,6 +123,7 @@ def run_point_spec(spec: PointSpec) -> PointResult:
             spec.rate,
             spec.telemetry_dir,
             spec.collect_counters,
+            profile=spec.profile,
         )
         try:
             point, resilience = _run_point(
@@ -138,6 +146,11 @@ def run_point_spec(spec: PointSpec) -> PointResult:
             point=point,
             resilience=resilience,
             failures=tuple(failures),
+            profile=(
+                telemetry.profiler.to_record()
+                if spec.profile and telemetry is not None
+                else None
+            ),
         )
     return PointResult(
         algorithm=spec.config.algorithm,
@@ -185,6 +198,7 @@ class ParallelSweepRunner:
         resume: bool = False,
         max_attempts: int = 1,
         retry_backoff_s: float = 0.0,
+        profile_into: PhaseProfiler | None = None,
     ) -> dict[str, BNFCurve]:
         """Sweep every (algorithm, rate) pair through the pool.
 
@@ -192,6 +206,12 @@ class ParallelSweepRunner:
         overlaps the next algorithm's points instead of serializing
         behind it.  Returns curves with points in ``rates`` order --
         identical to the serial :func:`sweep_algorithms`.
+
+        With *profile_into* set, every worker runs its point with phase
+        profiling armed and ships the serialized attribution back in
+        its :class:`PointResult`; the parent merges the records into
+        *profile_into* and into the sweep manifest, so "where did the
+        pool's wall time go" survives the process boundary.
         """
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
@@ -223,9 +243,13 @@ class ParallelSweepRunner:
                     watchdog=watchdog,
                     max_attempts=max_attempts,
                     retry_backoff_s=retry_backoff_s,
+                    profile=profile_into is not None,
                 ))
         if pending:
-            self._drain_pool(pending, completed, journal, progress, max_attempts)
+            self._drain_pool(
+                pending, completed, journal, progress, max_attempts,
+                profile_into,
+            )
         if resume and journal is not None:
             # A resumed sweep that reached this line replayed (or
             # re-ran) every point, so the retry history is dead weight:
@@ -250,6 +274,7 @@ class ParallelSweepRunner:
                 resumed=len(completed) - len(pending)
                 if resume and journal is not None
                 else 0,
+                profile=profile_into,
             )
         return curves
 
@@ -272,6 +297,7 @@ class ParallelSweepRunner:
         journal: SweepJournal | None,
         progress: Callable[[str], None] | None,
         max_attempts: int,
+        profile_into: PhaseProfiler | None = None,
     ) -> None:
         """Run the pending specs; journal results in completion order."""
         from repro.sim.sweep import SweepPointError
@@ -310,6 +336,8 @@ class ParallelSweepRunner:
                         result.attempts,
                         WorkerPointFailure(result.failures[-1]),
                     )
+                if profile_into is not None and result.profile is not None:
+                    profile_into.merge_record(result.profile)
                 if journal is not None:
                     journal.record_success(
                         result.algorithm,
@@ -337,6 +365,7 @@ class ParallelSweepRunner:
         journal: SweepJournal | None,
         wall_time_s: float,
         resumed: int,
+        profile: PhaseProfiler | None = None,
     ) -> None:
         """Merge the per-worker traces into one sweep-level manifest.
 
@@ -368,6 +397,10 @@ class ParallelSweepRunner:
             "journal": str(journal.path) if journal is not None else None,
             "points": points,
         }
+        if profile is not None:
+            # The workers' merged phase attribution: where the pool's
+            # aggregate wall time went (arbitration/traversal/delivery).
+            manifest["profile"] = profile.to_record()["phases"]
         telemetry_dir.mkdir(parents=True, exist_ok=True)
         path = telemetry_dir / "sweep_manifest.json"
         path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs.profiler import PhaseProfiler
 from repro.obs.sink import JsonlSink
 from repro.obs.telemetry import Telemetry
 from repro.resilience.checkpoint import SweepJournal
@@ -64,13 +65,14 @@ def _point_telemetry(
     rate: float,
     telemetry_dir: Path | str | None,
     collect_counters: bool,
+    profile: bool = False,
 ) -> Telemetry | None:
     if telemetry_dir is not None:
         path = Path(telemetry_dir) / trace_filename(algorithm, rate)
         path.parent.mkdir(parents=True, exist_ok=True)
-        return Telemetry(sink=JsonlSink(path))
-    if collect_counters:
-        return Telemetry()
+        return Telemetry(sink=JsonlSink(path), profile=profile)
+    if collect_counters or profile:
+        return Telemetry(profile=profile)
     return None
 
 
@@ -216,6 +218,7 @@ def sweep_algorithm(
     max_attempts: int = 1,
     retry_backoff_s: float = 0.0,
     workers: int = 1,
+    profile_into: PhaseProfiler | None = None,
 ) -> BNFCurve:
     """Run one algorithm over a set of offered loads.
 
@@ -254,6 +257,13 @@ def sweep_algorithm(
             process pool (see :mod:`repro.sim.parallel`) with bitwise
             identical per-point results; 1 (the default) keeps the
             serial in-process path.
+        profile_into: when set, every point runs with phase profiling
+            enabled and its arbitration/traversal/delivery wall-time
+            attribution is merged into this
+            :class:`~repro.obs.profiler.PhaseProfiler` -- serial points
+            by direct merge, pooled points via the serialized profile
+            record the worker ships back.  Points resumed from a
+            journal contribute nothing (they did not run).
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be at least 1")
@@ -279,6 +289,7 @@ def sweep_algorithm(
             resume=resume,
             max_attempts=max_attempts,
             retry_backoff_s=retry_backoff_s,
+            profile_into=profile_into,
         )
     curve = BNFCurve(label=config.algorithm)
     for rate in rates:
@@ -300,7 +311,11 @@ def sweep_algorithm(
             if attempt and retry_backoff_s > 0:
                 time.sleep(retry_backoff_s * 2 ** (attempt - 1))
             telemetry = _point_telemetry(
-                config.algorithm, rate, telemetry_dir, collect_counters
+                config.algorithm,
+                rate,
+                telemetry_dir,
+                collect_counters,
+                profile=profile_into is not None,
             )
             try:
                 point, resilience = _run_point(
@@ -330,6 +345,8 @@ def sweep_algorithm(
                         config.algorithm, rate, attempts, error
                     ) from error
         assert point is not None
+        if profile_into is not None and telemetry is not None:
+            profile_into.merge(telemetry.profiler)
         if journal is not None:
             journal.record_success(
                 config.algorithm,
@@ -367,6 +384,7 @@ def sweep_algorithms(
     max_attempts: int = 1,
     retry_backoff_s: float = 0.0,
     workers: int = 1,
+    profile_into: PhaseProfiler | None = None,
 ) -> dict[str, BNFCurve]:
     """Run several algorithms over the same loads (one Figure 10 panel).
 
@@ -392,6 +410,7 @@ def sweep_algorithms(
             resume=resume,
             max_attempts=max_attempts,
             retry_backoff_s=retry_backoff_s,
+            profile_into=profile_into,
         )
     return {
         algorithm: sweep_algorithm(
@@ -407,6 +426,7 @@ def sweep_algorithms(
             resume=resume,
             max_attempts=max_attempts,
             retry_backoff_s=retry_backoff_s,
+            profile_into=profile_into,
         )
         for algorithm in algorithms
     }
