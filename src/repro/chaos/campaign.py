@@ -19,6 +19,8 @@ that file *is* the determinism contract the tests pin down.
 from __future__ import annotations
 
 import json
+import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -35,6 +37,12 @@ from repro.chaos.scenario import (
 )
 from repro.chaos.shrink import shrink_scenario, write_minimal
 from repro.resilience.checkpoint import SweepJournal
+from repro.resilience.supervisor import PointSupervisor, SupervisorConfig
+
+#: test-only hook mirroring repro.sim.parallel's point hooks: wedge the
+#: worker that picks up a matching scenario_id (or "*"), honouring the
+#: shared REPRO_TEST_FAULT_ONCE_FILE claim for wedge-once-then-recover.
+WEDGE_SCENARIO_ENV = "REPRO_TEST_WEDGE_SCENARIO"
 
 CAMPAIGN_SCHEMA = 1
 
@@ -60,6 +68,10 @@ class CampaignConfig:
     shrink_failures: bool = False
     #: write one JSONL telemetry trace per scenario under ``traces/``.
     traces: bool = True
+    #: run scenarios under a PointSupervisor (heartbeats, deadlines,
+    #: reaping); a reaped scenario becomes a terminal "timeout"/"crash"
+    #: outcome -- chaos outcomes are data, so nothing is retried.
+    supervisor: SupervisorConfig | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -137,6 +149,86 @@ def _run_serial(
             )
 
 
+def _maybe_wedge_scenario(scenario: ChaosScenario) -> None:
+    wedge = os.environ.get(WEDGE_SCENARIO_ENV)
+    if not wedge or wedge not in ("*", scenario.scenario_id):
+        return
+    from repro.sim.parallel import _claim_once_file
+
+    if not _claim_once_file():
+        return
+    while True:  # no heartbeats: the supervisor must reap us
+        time.sleep(3600)
+
+
+def _supervised_scenario(payload, heartbeat) -> ScenarioOutcome:
+    """The supervisor's task runner: payload is (scenario, trace_path)."""
+    scenario, trace_path = payload
+    _maybe_wedge_scenario(scenario)
+    return run_scenario(scenario, trace_path, heartbeat=heartbeat)
+
+
+def _run_supervised(
+    config: CampaignConfig,
+    todo: list[ChaosScenario],
+    journal: SweepJournal,
+    outcomes: dict[int, ScenarioOutcome],
+    progress: Callable[[str], None] | None,
+) -> None:
+    """Fan scenarios over supervised workers; reaped ones become data.
+
+    Unlike :func:`_run_pool`, a worker that dies takes only its own
+    scenario down (the pool replenishes), and a worker that *wedges*
+    is reaped at the configured deadline/staleness bound instead of
+    hanging the campaign forever.  Outcome details for supervised
+    failures are deliberately static strings: the campaign manifest
+    must stay byte-identical across runs, and wall-clock-flavoured
+    reap details would break that contract.
+    """
+    by_index = {scenario.index: scenario for scenario in todo}
+    supervisor = PointSupervisor(
+        workers=min(config.workers, len(todo)),
+        runner=_supervised_scenario,
+        config=config.supervisor,
+        resubmit_crashed=False,
+    )
+    with supervisor:
+        for scenario in todo:
+            supervisor.submit(
+                scenario.index, (scenario, _trace_path(config, scenario))
+            )
+        while supervisor.outstanding:
+            event = supervisor.next_event()
+            scenario = by_index[event.task_id]
+            if event.kind == "result":
+                outcome = event.result
+            elif event.kind == "timeout":
+                outcome = ScenarioOutcome(
+                    scenario_id=scenario.scenario_id,
+                    status="timeout",
+                    detail=(
+                        "reaped by supervisor: wall-clock deadline or "
+                        "heartbeat staleness exceeded"
+                    ),
+                )
+            else:  # worker-lost
+                outcome = ScenarioOutcome(
+                    scenario_id=scenario.scenario_id,
+                    status="crash",
+                    detail="worker lost under supervision",
+                )
+            journal.record_outcome(
+                scenario.scenario_id, float(scenario.index), outcome.as_dict()
+            )
+            outcomes[scenario.index] = outcome
+            if progress is not None:
+                progress(
+                    f"[{len(outcomes)}/{config.count_total()}] "
+                    f"{scenario.scenario_id} ({scenario.kind}, "
+                    f"{scenario.algorithm}) -> {outcome.status}"
+                )
+
+
 def _run_pool(
     config: CampaignConfig,
     todo: list[ChaosScenario],
@@ -212,7 +304,9 @@ def run_campaign(
         todo.append(scenario)
     if progress is not None and resumed:
         progress(f"resumed {resumed} scenario(s) from the journal")
-    if config.workers > 1 and len(todo) > 1:
+    if config.supervisor is not None and todo:
+        _run_supervised(config, todo, journal, outcomes, progress)
+    elif config.workers > 1 and len(todo) > 1:
         _run_pool(config, todo, journal, outcomes, progress)
     else:
         _run_serial(config, todo, journal, outcomes, progress)
@@ -235,7 +329,13 @@ def run_campaign(
             trace_path=_trace_path(config, scenario),
             campaign=campaign_info,
         )
-        if config.shrink_failures and outcome.status != "crash":
+        # Crashes and supervised timeouts have nothing to shrink: the
+        # scenario never produced a simulation-derived failure to
+        # preserve while minimizing.
+        if config.shrink_failures and outcome.status not in (
+            "crash",
+            "timeout",
+        ):
             if progress is not None:
                 progress(f"shrinking {scenario.scenario_id} ...")
             minimal, steps = shrink_scenario(
@@ -307,6 +407,15 @@ def _write_manifest(
         "scenarios": entries,
         "totals": dict(sorted(totals.items())),
     }
+    if config.supervisor is not None:
+        # Config plus outcome-derived counts only -- never the
+        # supervisor's live wall-clock stats, which would break the
+        # byte-identical manifest contract.
+        manifest["supervisor"] = {
+            **config.supervisor.as_dict(),
+            "timeouts": totals.get("timeout", 0),
+            "worker_crashes": totals.get("crash", 0),
+        }
     path = output_dir / MANIFEST_NAME
     path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return path

@@ -35,6 +35,7 @@ from repro.chaos.scenario import (
     active_fault_dimensions,
 )
 from repro.chaos.shrink import shrink_scenario, write_minimal
+from repro.resilience.supervisor import SupervisorConfig
 
 
 def _space(preset: str) -> ScenarioSpace:
@@ -48,6 +49,14 @@ def _progress(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    supervisor = None
+    if args.point_timeout is not None:
+        if args.point_timeout <= 0:
+            raise SystemExit("--point-timeout must be positive")
+        supervisor = SupervisorConfig(
+            point_timeout_s=args.point_timeout,
+            heartbeat_stale_s=args.point_timeout,
+        )
     config = CampaignConfig(
         output_dir=args.output_dir,
         seed=args.seed,
@@ -59,6 +68,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         resume=args.resume,
         shrink_failures=args.shrink,
         traces=not args.no_traces,
+        supervisor=supervisor,
     )
     result = run_campaign(config, progress=_progress(args))
     totals = ", ".join(
@@ -183,6 +193,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip scenarios already completed in the campaign journal",
+    )
+    run_p.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run scenarios supervised: a worker wedged past SECONDS "
+             "of wall clock (or heartbeat silence) is reaped and its "
+             "scenario recorded as a 'timeout' outcome instead of "
+             "hanging the campaign",
     )
     run_p.add_argument(
         "--inject-deadlock",

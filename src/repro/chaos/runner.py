@@ -33,12 +33,16 @@ from repro.sim.standalone import StandaloneConfig, StandaloneRouterModel
 from repro.sim.timing_model import NetworkSimulator
 
 #: every status a scenario can end in; anything but "ok" writes a bundle.
+#: "timeout" is parent-assigned: a supervised worker was reaped at its
+#: wall-clock deadline or heartbeat-staleness bound (see
+#: repro.resilience.supervisor) before the scenario could finish.
 OUTCOME_STATUSES = (
     "ok",
     "invariant-violation",
     "deadlock",
     "drain-failed",
     "crash",
+    "timeout",
 )
 
 
@@ -115,7 +119,7 @@ def _telemetry(trace_path) -> Telemetry | None:
 
 
 def run_scenario(
-    scenario: ChaosScenario, trace_path=None
+    scenario: ChaosScenario, trace_path=None, heartbeat=None
 ) -> ScenarioOutcome:
     """Run one scenario, invariants and watchdog always armed.
 
@@ -123,10 +127,12 @@ def run_scenario(
     trace -- the campaign stores one per scenario and replay bundles
     embed its tail.  The trace never feeds back into simulation
     decisions, so outcomes digest identically with or without it.
+    *heartbeat* (supervised campaign workers) is driven from inside
+    the simulation loop and likewise never influences the outcome.
     """
     if scenario.kind == "standalone":
-        return _run_standalone(scenario, trace_path)
-    return _run_timing(scenario, trace_path)
+        return _run_standalone(scenario, trace_path, heartbeat)
+    return _run_timing(scenario, trace_path, heartbeat)
 
 
 def _crash_outcome(scenario: ChaosScenario, error: BaseException) -> ScenarioOutcome:
@@ -137,7 +143,9 @@ def _crash_outcome(scenario: ChaosScenario, error: BaseException) -> ScenarioOut
     )
 
 
-def _run_timing(scenario: ChaosScenario, trace_path) -> ScenarioOutcome:
+def _run_timing(
+    scenario: ChaosScenario, trace_path, heartbeat=None
+) -> ScenarioOutcome:
     config = SimulationConfig(
         algorithm=scenario.algorithm,
         network=NetworkConfig(width=scenario.width, height=scenario.height),
@@ -169,6 +177,7 @@ def _run_timing(scenario: ChaosScenario, trace_path) -> ScenarioOutcome:
             faults=injector,
             invariants=checker,
             watchdog=dog,
+            heartbeat=heartbeat,
         )
         try:
             point = simulator.bnf_point()
@@ -232,7 +241,9 @@ def _run_timing(scenario: ChaosScenario, trace_path) -> ScenarioOutcome:
     )
 
 
-def _run_standalone(scenario: ChaosScenario, trace_path) -> ScenarioOutcome:
+def _run_standalone(
+    scenario: ChaosScenario, trace_path, heartbeat=None
+) -> ScenarioOutcome:
     config = StandaloneConfig(
         algorithm=scenario.algorithm,
         load=scenario.load,
@@ -251,6 +262,7 @@ def _run_standalone(scenario: ChaosScenario, trace_path) -> ScenarioOutcome:
                 telemetry=telemetry,
                 invariants=invariants,
                 faults=injector,
+                heartbeat=heartbeat,
             )
             stats = model.run()
         except Exception as error:

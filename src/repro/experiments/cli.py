@@ -26,10 +26,32 @@ from pathlib import Path
 from repro.experiments import claims, figure8, figure9, figure10, figure11
 from repro.resilience import (
     InvariantConfig,
+    SupervisorConfig,
     WatchdogConfig,
     parse_fault_spec,
 )
 from repro.sim.sweep import SweepGuard
+
+
+def _supervisor_config(args: argparse.Namespace) -> SupervisorConfig | None:
+    """Build the supervised-execution knobs from the CLI flags.
+
+    ``--point-timeout`` arms both the hard per-point deadline and the
+    heartbeat-staleness bound at the same value: a wedged point stops
+    beating long before a healthy one would exhaust the deadline, and
+    one number is all the CLI needs to expose.
+    """
+    if args.point_timeout is None:
+        return None
+    if args.point_timeout <= 0:
+        raise SystemExit("--point-timeout must be positive")
+    if args.quarantine_after < 1:
+        raise SystemExit("--quarantine-after must be at least 1")
+    return SupervisorConfig(
+        point_timeout_s=args.point_timeout,
+        heartbeat_stale_s=args.point_timeout,
+        quarantine_after=args.quarantine_after,
+    )
 
 
 def _sweep_guard(args: argparse.Namespace) -> SweepGuard | None:
@@ -42,6 +64,7 @@ def _sweep_guard(args: argparse.Namespace) -> SweepGuard | None:
         or args.journal_dir is not None
         or args.resume
         or args.max_attempts > 1
+        or args.point_timeout is not None
     )
     if not wanted:
         return None
@@ -67,6 +90,7 @@ def _sweep_guard(args: argparse.Namespace) -> SweepGuard | None:
         journal_path=args.journal_dir,
         resume=args.resume,
         max_attempts=args.max_attempts,
+        supervisor=_supervisor_config(args),
     )
 
 
@@ -258,6 +282,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="tries per sweep point before giving up; retries bump the "
              "simulation and fault seeds (default 1)",
+    )
+    resilience.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --workers > 1, run the pool supervised: reap any "
+             "worker whose point exceeds SECONDS of wall clock or whose "
+             "in-loop heartbeat goes stale for SECONDS, journal the "
+             "reap, and retry the point on a fresh worker (see "
+             "docs/resilience.md)",
+    )
+    resilience.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        metavar="K",
+        help="quarantine a point after K supervised crashes "
+             "(worker deaths or reaps) instead of retrying it forever "
+             "(default 3; only meaningful with --point-timeout)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"

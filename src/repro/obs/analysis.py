@@ -137,6 +137,13 @@ class TraceSummary:
                 "watchdog-remediation",
             ),
             ("drain_warnings", "resilience_drain_warnings_total", "drain-warn"),
+            ("worker_lost", "resilience_worker_lost_total", "worker-lost"),
+            (
+                "point_timeouts",
+                "resilience_point_timeouts_total",
+                "point-timeout",
+            ),
+            ("quarantined", "resilience_quarantined_total", "quarantined"),
         ):
             value = self.scalar(metric)
             if not value and event_kind is not None:
@@ -312,6 +319,9 @@ def diff_summaries(a: TraceSummary, b: TraceSummary) -> list[MetricDelta]:
         "resilience_watchdog_fires_total",
         "resilience_watchdog_remediations_total",
         "resilience_drain_warnings_total",
+        "resilience_worker_lost_total",
+        "resilience_point_timeouts_total",
+        "resilience_quarantined_total",
     ):
         # Only fault-injected runs carry these; keep clean diffs clean.
         value_a, value_b = a.scalar(metric), b.scalar(metric)

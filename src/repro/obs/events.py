@@ -28,6 +28,13 @@ watchdog    the progress watchdog fired; carries the stall snapshot
 watchdog-remediation  a watchdog recovery kick resolved (remediated
             -- progress resumed -- or deadlocked -- kick failed)
 drain-warn  a post-run drain exhausted its budget with packets left
+worker-lost a supervised pool worker died mid-task (see
+            repro.resilience.supervisor); time is seconds since the
+            supervisor started, not simulated cycles
+point-timeout a supervised task was reaped at its wall-clock deadline
+            or heartbeat-staleness threshold
+quarantined a poison task was abandoned after repeated supervised
+            crashes
 counters    final metrics-registry snapshot (one per trace)
 profile     final phase-profiler summary (one per trace)
 run-end     trace footer: wall time, event count
@@ -261,6 +268,59 @@ class DrainWarningEvent:
         return record
 
 
+@dataclass(frozen=True, slots=True)
+class WorkerLostEvent:
+    """A supervised pool worker died while running a task.
+
+    Supervisor events carry wall-clock seconds since the supervisor
+    started (there is no simulated clock in the parent), the task's
+    string form, and the task's supervised crash count so far.
+    """
+
+    kind: ClassVar[str] = "worker-lost"
+    time: float
+    task: str
+    detail: str
+    crashes: int
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class PointTimeoutEvent:
+    """A supervised task was reaped at a deadline or staleness bound."""
+
+    kind: ClassVar[str] = "point-timeout"
+    time: float
+    task: str
+    detail: str
+    crashes: int
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantineEvent:
+    """A poison task was abandoned after repeated supervised crashes."""
+
+    kind: ClassVar[str] = "quarantined"
+    time: float
+    task: str
+    crashes: int
+    detail: str
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
 EVENT_TYPES = (
     InjectionEvent,
     NominationEvent,
@@ -275,6 +335,9 @@ EVENT_TYPES = (
     WatchdogEvent,
     WatchdogRemediationEvent,
     DrainWarningEvent,
+    WorkerLostEvent,
+    PointTimeoutEvent,
+    QuarantineEvent,
 )
 
 #: kind string -> event class, for readers that want typed access.

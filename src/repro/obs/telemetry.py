@@ -37,9 +37,12 @@ from repro.obs.events import (
     LinkFaultEvent,
     NominationEvent,
     PacketDropEvent,
+    PointTimeoutEvent,
+    QuarantineEvent,
     StarvationEvent,
     WatchdogEvent,
     WatchdogRemediationEvent,
+    WorkerLostEvent,
 )
 from repro.obs.manifest import RunManifest
 from repro.obs.profiler import PhaseProfiler
@@ -154,6 +157,20 @@ class Telemetry:
         self._drain_warnings = registry.counter(
             "resilience_drain_warnings_total",
             "drains that exhausted their budget with packets left",
+        )
+        self._worker_lost = registry.counter(
+            "resilience_worker_lost_total",
+            "supervised pool workers that died mid-task "
+            "(see repro.resilience.supervisor)",
+        )
+        self._point_timeouts = registry.counter(
+            "resilience_point_timeouts_total",
+            "supervised tasks reaped at their wall-clock deadline or "
+            "heartbeat-staleness threshold",
+        )
+        self._quarantined = registry.counter(
+            "resilience_quarantined_total",
+            "poison tasks abandoned after repeated supervised crashes",
         )
         #: bound-series caches so hot sites never re-resolve labels.
         self._algo_series: dict[str, tuple[MetricSeries, ...]] = {}
@@ -355,6 +372,38 @@ class Telemetry:
                 DrainWarningEvent(now, buffered, pending, in_transit).to_record()
             )
 
+    # -- supervisor hooks (now = seconds since the supervisor started) ----
+
+    def on_worker_lost(
+        self, now: float, task: str, detail: str, crashes: int
+    ) -> None:
+        """A supervised pool worker died while running *task*."""
+        self._worker_lost.inc()
+        if self.events:
+            self.sink.emit(
+                WorkerLostEvent(now, task, detail, crashes).to_record()
+            )
+
+    def on_point_timeout(
+        self, now: float, task: str, detail: str, crashes: int
+    ) -> None:
+        """A supervised task was reaped at a deadline/staleness bound."""
+        self._point_timeouts.inc()
+        if self.events:
+            self.sink.emit(
+                PointTimeoutEvent(now, task, detail, crashes).to_record()
+            )
+
+    def on_quarantine(
+        self, now: float, task: str, crashes: int, detail: str
+    ) -> None:
+        """A poison task was abandoned after *crashes* worker crashes."""
+        self._quarantined.inc()
+        if self.events:
+            self.sink.emit(
+                QuarantineEvent(now, task, crashes, detail).to_record()
+            )
+
     # -- summaries --------------------------------------------------------
 
     def arbitration_summary(self) -> dict[str, dict[str, int]]:
@@ -452,6 +501,15 @@ class _NullTelemetry:
         pass
 
     def on_drain_exhausted(self, *args: Any) -> None:
+        pass
+
+    def on_worker_lost(self, *args: Any) -> None:
+        pass
+
+    def on_point_timeout(self, *args: Any) -> None:
+        pass
+
+    def on_quarantine(self, *args: Any) -> None:
         pass
 
     def arbitration_summary(self) -> dict:

@@ -19,10 +19,20 @@ package makes the reproduction hard to break and loud when it does:
   diagnostic instead of hanging;
 * :mod:`repro.resilience.checkpoint` -- a :class:`SweepJournal` that
   persists completed BNF points so long sweeps survive crashes and can
-  resume a partial curve.
+  resume a partial curve (torn-tail tolerant: a half-written final
+  line from a crash is salvaged, not fatal);
+* :mod:`repro.resilience.supervisor` -- a :class:`PointSupervisor`
+  that runs pool workers under heartbeats, per-task deadlines and
+  poison-point quarantine, reaping and replenishing instead of
+  hanging or aborting.
 """
 
 from repro.resilience.checkpoint import SweepJournal, rate_key
+from repro.resilience.supervisor import (
+    PointSupervisor,
+    SupervisorConfig,
+    SupervisorEvent,
+)
 from repro.resilience.faults import (
     REASON_LINK_RETRIES_EXHAUSTED,
     FaultConfig,
@@ -55,9 +65,12 @@ __all__ = [
     "InvariantConfig",
     "InvariantViolation",
     "InvariantViolationError",
+    "PointSupervisor",
     "ProgressWatchdog",
     "REASON_LINK_RETRIES_EXHAUSTED",
     "ResilienceReport",
+    "SupervisorConfig",
+    "SupervisorEvent",
     "SweepJournal",
     "WatchdogConfig",
     "parse_fault_spec",

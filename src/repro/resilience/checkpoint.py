@@ -21,10 +21,13 @@ filenames of :mod:`repro.sim.sweep`.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 
 from repro.sim.metrics import BNFPoint
+
+logger = logging.getLogger(__name__)
 
 
 def rate_key(rate: float) -> str:
@@ -64,29 +67,71 @@ class SweepJournal:
         #: a retried point's success supersedes its earlier failures.
         self._latest: dict[tuple[str, str], dict] = {}
         self._loaded = False
+        #: the salvaged (discarded) torn final line, for inspection.
+        self.salvaged_tail: str | None = None
+        #: byte offset of the torn tail; the next append truncates it.
+        self._torn_offset: int | None = None
+        #: the final line parsed but lacked its newline (the crash hit
+        #: between the two writes); the next append completes it first.
+        self._needs_newline = False
 
     # -- reading ---------------------------------------------------------
 
     def load(self) -> None:
-        """(Re)read the journal from disk; a missing file is empty."""
+        """(Re)read the journal from disk; a missing file is empty.
+
+        Torn-tail tolerant: a *final* line that is not valid JSON
+        **and** lacks its trailing newline is exactly what a crash
+        mid-append leaves behind, so it is salvaged -- the intact
+        prefix loads, the tail is logged, kept on
+        :attr:`salvaged_tail`, and physically discarded by the next
+        append or :meth:`compact`.  That torn line was a record in
+        flight, so ``--resume`` simply retries its point.  Corruption
+        anywhere *else* (mid-file, or a final line whose newline made
+        it to disk) cannot be a torn append and still raises.
+        """
         self._latest.clear()
         self._loaded = True
+        self.salvaged_tail = None
+        self._torn_offset = None
+        self._needs_newline = False
         if not self.path.exists():
             return
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
+        text = self.path.read_bytes().decode("utf-8")
+        if not text:
+            return
+        ends_with_newline = text.endswith("\n")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        offset = 0
+        for index, raw_line in enumerate(lines):
+            is_final = index == len(lines) - 1
+            line = raw_line.strip()
+            if line:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError as error:
+                    if is_final and not ends_with_newline:
+                        self.salvaged_tail = raw_line
+                        self._torn_offset = offset
+                        logger.warning(
+                            "%s: salvaged torn final line (%d bytes "
+                            "discarded on next write): %.80r",
+                            self.path,
+                            len(raw_line.encode("utf-8")),
+                            raw_line,
+                        )
+                        break
                     raise ValueError(
-                        f"{self.path}:{line_number}: corrupt journal line "
+                        f"{self.path}:{index + 1}: corrupt journal line "
                         f"({error})"
                     ) from error
+                if is_final and not ends_with_newline:
+                    self._needs_newline = True
                 key = (record.get("algorithm", ""), record.get("rate_key", ""))
                 self._latest[key] = record
+            offset += len(raw_line.encode("utf-8")) + 1
 
     def _ensure_loaded(self) -> None:
         if not self._loaded:
@@ -142,9 +187,22 @@ class SweepJournal:
         self._append(record)
 
     def record_failure(
-        self, algorithm: str, rate: float, attempt: int, error: BaseException | str
+        self,
+        algorithm: str,
+        rate: float,
+        attempt: int,
+        error: BaseException | str,
+        reason: str | None = None,
     ) -> None:
-        self._append({
+        """Journal a failed attempt.
+
+        *reason* distinguishes supervised failures -- ``"worker-lost"``
+        (the worker process died mid-point) and ``"timeout"`` (reaped
+        at the deadline or heartbeat-staleness threshold) -- from the
+        default in-task exception.  All of them leave the point's
+        latest status ``failed``, so ``--resume`` retries it.
+        """
+        record = {
             "kind": "sweep-point",
             "status": "failed",
             "algorithm": algorithm,
@@ -154,7 +212,39 @@ class SweepJournal:
             "error": f"{type(error).__name__}: {error}"
             if isinstance(error, BaseException)
             else str(error),
+        }
+        if reason is not None:
+            record["reason"] = reason
+        self._append(record)
+
+    def record_quarantined(
+        self, algorithm: str, rate: float, crashes: int, error: str
+    ) -> None:
+        """Journal a poison point abandoned after *crashes* crashes.
+
+        A quarantined record is not a success, so ``--resume`` still
+        retries the point (perhaps on a healthier host or with a
+        longer deadline); it is first-class so reports can distinguish
+        "kept crashing its workers" from an ordinary failed attempt.
+        """
+        self._append({
+            "kind": "sweep-point",
+            "status": "quarantined",
+            "algorithm": algorithm,
+            "rate": rate,
+            "rate_key": rate_key(rate),
+            "crashes": crashes,
+            "error": str(error),
         })
+
+    def quarantined(self) -> list[dict]:
+        """Points whose latest record is a quarantine."""
+        self._ensure_loaded()
+        return [
+            record
+            for record in self._latest.values()
+            if record.get("status") == "quarantined"
+        ]
 
     def record_outcome(
         self,
@@ -223,12 +313,27 @@ class SweepJournal:
             os.fsync(handle.fileno())
         os.replace(temp_path, self.path)
         _fsync_directory(self.path.parent)
+        # The rewrite is whole lines only: any salvaged tail is gone.
+        self._torn_offset = None
+        self._needs_newline = False
         return dropped
 
     def _append(self, record: dict) -> None:
         self._ensure_loaded()
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._torn_offset is not None:
+            # Physically discard the salvaged torn tail before the
+            # first new record lands after it.
+            with self.path.open("r+b") as handle:
+                handle.truncate(self._torn_offset)
+            self._torn_offset = None
+            self._needs_newline = False
         with self.path.open("a", encoding="utf-8") as handle:
+            if self._needs_newline:
+                # The previous final record parsed but its newline
+                # never hit the disk; complete the line first.
+                handle.write("\n")
+                self._needs_newline = False
             handle.write(json.dumps(record, separators=(",", ":")))
             handle.write("\n")
         self._latest[(record["algorithm"], record["rate_key"])] = record

@@ -1,0 +1,548 @@
+"""Supervised process workers: heartbeats, deadlines, reaping, quarantine.
+
+``ProcessPoolExecutor`` has two failure modes that kill a long sweep
+or chaos campaign outright: a worker that *dies* breaks the whole pool
+(``BrokenProcessPool`` fails every pending future), and a worker that
+*wedges* -- an infinite loop, a lost wake-up -- hangs the parent's
+``wait()`` forever, because the executor has no per-task deadline and
+no way to terminate one worker without poisoning the rest.
+
+:class:`PointSupervisor` replaces the executor with raw spawn-context
+``multiprocessing.Process`` workers it owns outright, one duplex pipe
+each, so it can
+
+* watch **heartbeats**: the task runner receives a heartbeat callable
+  that the simulation drives from inside its event loop (see
+  ``NetworkSimulator(heartbeat=...)``), so a wedged loop stops beating
+  -- a thread-based heartbeat would defeat the whole point;
+* enforce a per-task **wall-clock deadline** and a **heartbeat
+  staleness** threshold, reaping (terminate + join, then kill) any
+  worker that trips either, and replenishing the pool with a fresh
+  process instead of aborting;
+* classify every abnormal end as a :class:`SupervisorEvent` --
+  ``worker-lost`` (the process died), ``timeout`` (reaped at a
+  deadline) or ``quarantined`` (the same task crashed its worker
+  ``quarantine_after`` times: a poison point that would otherwise eat
+  the pool forever) -- so the caller can journal each one and a
+  ``--resume`` rerun retries it;
+* report counters and trace events through an optional
+  :class:`~repro.obs.telemetry.Telemetry`
+  (``resilience_worker_lost_total`` / ``resilience_point_timeouts_total``
+  / ``resilience_quarantined_total``).
+
+Determinism: the supervisor only decides *where and when* a task runs,
+never what it computes -- task payloads are the same picklable specs
+the executor carried, workers rebuild all state from them, and results
+stay bitwise identical to a serial run.  Wall-clock only ever flows
+into *reaping decisions*, never into results, so supervised outcomes
+journal deterministically.
+
+This is ROADMAP item 2's lease/heartbeat scheduler at single-host
+scale: the same (lease = task assignment, heartbeat, reap, reassign)
+protocol later stretches over many hosts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable
+
+__all__ = [
+    "PointSupervisor",
+    "SupervisorConfig",
+    "SupervisorEvent",
+]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs for one supervised pool.
+
+    Attributes:
+        point_timeout_s: hard wall-clock ceiling per task; a worker
+            still running when it expires is reaped (``None`` = no
+            deadline).
+        heartbeat_stale_s: reap a worker whose last heartbeat is older
+            than this -- catches wedges long before a generous
+            deadline would (``None`` = staleness not checked).
+        heartbeat_interval_cycles: how often (in simulated cycles) the
+            simulation's heartbeat tick fires; the sender additionally
+            throttles to wall time, so small values are safe.
+        quarantine_after: supervised crashes (worker-lost + timeout)
+            of one task before it is quarantined instead of retried.
+        rerun_quarantined: after quarantining, re-run the point
+            serially in the parent process to capture the real
+            traceback (off by default: a poison point that SIGKILLs
+            its worker would then kill the parent).
+        poll_interval_s: the supervisor's liveness/deadline poll
+            cadence; also bounds how long a reap can lag its deadline.
+        reap_grace_s: seconds to wait after ``terminate()`` before
+            escalating to ``kill()``.
+    """
+
+    point_timeout_s: float | None = None
+    heartbeat_stale_s: float | None = None
+    heartbeat_interval_cycles: float = 1_000.0
+    quarantine_after: int = 3
+    rerun_quarantined: bool = False
+    poll_interval_s: float = 0.05
+    reap_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.point_timeout_s is not None and self.point_timeout_s <= 0:
+            raise ValueError("point_timeout_s must be positive")
+        if self.heartbeat_stale_s is not None and self.heartbeat_stale_s <= 0:
+            raise ValueError("heartbeat_stale_s must be positive")
+        if self.heartbeat_interval_cycles <= 0:
+            raise ValueError("heartbeat_interval_cycles must be positive")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be at least 1")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    def as_dict(self) -> dict:
+        """Manifest form (the tuning half of a supervisor section)."""
+        return {
+            "point_timeout_s": self.point_timeout_s,
+            "heartbeat_stale_s": self.heartbeat_stale_s,
+            "heartbeat_interval_cycles": self.heartbeat_interval_cycles,
+            "quarantine_after": self.quarantine_after,
+        }
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One supervision outcome handed to the caller, in order.
+
+    ``kind`` is one of:
+
+    * ``"result"`` -- the task finished; :attr:`result` is whatever the
+      runner returned (the normal case, successes and in-task failures
+      alike);
+    * ``"worker-lost"`` -- the worker process died mid-task (SIGKILL,
+      OOM, segfault); the task will be retried unless quarantine is
+      due;
+    * ``"timeout"`` -- the worker was reaped at the task deadline or
+      the heartbeat-staleness threshold; retried likewise;
+    * ``"quarantined"`` -- the task crashed its worker
+      ``quarantine_after`` times and is abandoned; always follows the
+      final crash's own event.
+    """
+
+    kind: str
+    task_id: Any
+    result: Any = None
+    detail: str = ""
+    #: supervised crashes of this task so far (0 for clean results).
+    crashes: int = 0
+
+
+class _HeartbeatSender:
+    """The callable a worker's task runner drives between epochs.
+
+    Throttled to wall time so a fast simulation loop does not flood
+    the pipe; a send failure (parent gone) is swallowed -- the reap
+    arrives either way.
+    """
+
+    def __init__(self, conn: Connection, min_interval_s: float = 0.2) -> None:
+        self._conn = conn
+        self._min_interval_s = min_interval_s
+        self._task_id: Any = None
+        self._last = 0.0
+
+    def reset(self, task_id: Any) -> None:
+        self._task_id = task_id
+        self._last = 0.0
+        self()  # one immediate beat: "task received, alive"
+
+    def __call__(self) -> None:
+        now = time.monotonic()
+        if now - self._last < self._min_interval_s:
+            return
+        self._last = now
+        try:
+            self._conn.send(("heartbeat", self._task_id))
+        except OSError:
+            pass
+
+
+def _worker_main(conn: Connection, runner: Callable[[Any, Callable], Any]) -> None:
+    """Long-lived worker loop: recv task, run, send result, repeat.
+
+    Module-level so a spawn context can pickle it by reference.  Any
+    exception escaping *runner* is reported as an ``error`` message
+    (the worker survives); runners are expected to catch task-level
+    exceptions themselves and fold them into their result objects.
+    """
+    heartbeat = _HeartbeatSender(conn)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "exit":
+            break
+        _, task_id, payload = message
+        heartbeat.reset(task_id)
+        try:
+            result = runner(payload, heartbeat)
+        except BaseException as error:  # noqa: BLE001 -- report, don't die
+            reply = ("error", task_id, f"{type(error).__name__}: {error}")
+        else:
+            reply = ("done", task_id, result)
+        try:
+            conn.send(reply)
+        except Exception as error:  # result not picklable, parent gone, ...
+            try:
+                conn.send((
+                    "error",
+                    task_id,
+                    f"result failed to serialize: "
+                    f"{type(error).__name__}: {error}",
+                ))
+            except Exception:
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+@dataclass
+class _Worker:
+    process: Any
+    conn: Connection
+    task_id: Any = None
+    started_at: float = 0.0
+    last_beat: float = 0.0
+
+
+class PointSupervisor:
+    """A self-healing pool of supervised worker processes.
+
+    Usage::
+
+        with PointSupervisor(workers, runner, config=cfg) as sup:
+            for task_id, payload in work:
+                sup.submit(task_id, payload)
+            while sup.outstanding:
+                event = sup.next_event()
+                ...  # journal / retry / collect per event.kind
+
+    *runner* is a module-level callable ``runner(payload, heartbeat)``
+    executed in the worker; it should call ``heartbeat()`` between
+    simulation epochs (the sweep and chaos runners thread it into the
+    simulator's heartbeat tick).
+
+    With ``resubmit_crashed=True`` (the sweep's mode) a crashed task is
+    automatically resubmitted until ``quarantine_after`` crashes, then
+    a ``quarantined`` event ends it.  With ``False`` (the campaign's
+    mode) each crash event is terminal and the caller decides.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        runner: Callable[[Any, Callable], Any],
+        config: SupervisorConfig | None = None,
+        mp_context: str = "spawn",
+        telemetry=None,
+        resubmit_crashed: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.runner = runner
+        self.config = config if config is not None else SupervisorConfig()
+        self.telemetry = telemetry
+        self.resubmit_crashed = resubmit_crashed
+        self._context = get_context(mp_context)
+        self._pool: list[_Worker] = []
+        #: (ready_at, seq, task_id) min-heap of tasks awaiting a slot;
+        #: ready_at implements parent-side retry backoff.
+        self._ready: list[tuple[float, int, Any]] = []
+        self._seq = itertools.count()
+        self._payloads: dict[Any, Any] = {}
+        self._crashes: dict[Any, int] = {}
+        self._events: list[SupervisorEvent] = []
+        self._started = time.monotonic()
+        self._closed = False
+        self.stats = {
+            "worker_lost": 0,
+            "timeouts": 0,
+            "quarantined": 0,
+            "respawns": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "PointSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut every worker down (graceful when idle, forceful else)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._pool:
+            if worker.process.is_alive() and worker.task_id is None:
+                try:
+                    worker.conn.send(("exit",))
+                except OSError:
+                    pass
+        deadline = time.monotonic() + self.config.reap_grace_s
+        for worker in self._pool:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(self.config.reap_grace_s)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._pool.clear()
+
+    # -- submitting and consuming ----------------------------------------
+
+    def submit(self, task_id: Any, payload: Any, delay_s: float = 0.0) -> None:
+        """Queue *payload* under *task_id*; *delay_s* defers dispatch.
+
+        Resubmitting an id replaces its payload (how the sweep bumps a
+        spec's attempt counter between retries).
+        """
+        if self._closed:
+            raise RuntimeError("supervisor is closed")
+        self._payloads[task_id] = payload
+        heapq.heappush(
+            self._ready,
+            (time.monotonic() + max(0.0, delay_s), next(self._seq), task_id),
+        )
+
+    @property
+    def outstanding(self) -> bool:
+        """True while any task is queued, running or awaiting delivery."""
+        return bool(
+            self._events
+            or self._ready
+            or any(w.task_id is not None for w in self._pool)
+        )
+
+    def next_event(self) -> SupervisorEvent:
+        """Block until the next :class:`SupervisorEvent` is available."""
+        while True:
+            if self._events:
+                return self._events.pop(0)
+            if not self.outstanding:
+                raise RuntimeError("no outstanding supervised work")
+            self._pump()
+
+    def summary(self) -> dict:
+        """The manifest's supervisor section: config + live totals."""
+        return {**self.config.as_dict(), **self.stats}
+
+    # -- the supervision loop --------------------------------------------
+
+    def _pump(self) -> None:
+        self._dispatch_ready()
+        conns = [w.conn for w in self._pool]
+        if conns:
+            # Wake early only for a *future* retry coming due.  A task
+            # that is already due but undispatched means every slot is
+            # busy -- nothing to wake for until a worker speaks, so a
+            # zero timeout here would busy-spin the parent at 100% CPU
+            # against its own workers.
+            timeout = self.config.poll_interval_s
+            if self._ready:
+                until_due = self._ready[0][0] - time.monotonic()
+                if until_due > 0.0:
+                    timeout = min(timeout, until_due)
+            by_conn = {w.conn: w for w in self._pool}
+            for conn in connection_wait(conns, timeout=timeout):
+                self._drain_conn(by_conn[conn])
+        elif self._ready:
+            # No workers yet (all dead, none respawned until a slot is
+            # needed): wait out the nearest backoff without spinning.
+            time.sleep(
+                min(
+                    self.config.poll_interval_s,
+                    max(0.0, self._ready[0][0] - time.monotonic()),
+                )
+            )
+        self._check_workers()
+
+    def _dispatch_ready(self) -> None:
+        now = time.monotonic()
+        while self._ready and self._ready[0][0] <= now:
+            worker = self._idle_worker()
+            if worker is None:
+                return
+            _, _, task_id = heapq.heappop(self._ready)
+            worker.task_id = task_id
+            worker.started_at = now
+            worker.last_beat = now
+            try:
+                worker.conn.send(("task", task_id, self._payloads[task_id]))
+            except OSError:
+                # Dead before dispatch; _check_workers reaps and the
+                # crash path requeues.
+                pass
+
+    def _idle_worker(self) -> _Worker | None:
+        for worker in self._pool:
+            if worker.task_id is None and worker.process.is_alive():
+                return worker
+        if len(self._pool) < self.workers:
+            return self._spawn()
+        return None
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self.runner),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process=process, conn=parent_conn)
+        self._pool.append(worker)
+        return worker
+
+    def _drain_conn(self, worker: _Worker) -> None:
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return  # process death; _check_workers classifies it
+            kind = message[0]
+            if kind == "heartbeat":
+                if message[1] == worker.task_id:
+                    worker.last_beat = time.monotonic()
+            elif kind == "done":
+                _, task_id, result = message
+                worker.task_id = None
+                self._events.append(
+                    SupervisorEvent(
+                        kind="result",
+                        task_id=task_id,
+                        result=result,
+                        crashes=self._crashes.get(task_id, 0),
+                    )
+                )
+            elif kind == "error":
+                # The runner let an exception escape (runners fold task
+                # failures into results, so this is abnormal).  The
+                # worker survives; account it like a crash so a
+                # repeat offender still quarantines.
+                _, task_id, detail = message
+                worker.task_id = None
+                self._record_crash("worker-lost", task_id, detail)
+
+    def _check_workers(self) -> None:
+        now = time.monotonic()
+        cfg = self.config
+        for worker in list(self._pool):
+            if not worker.process.is_alive():
+                self._pool.remove(worker)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                if worker.task_id is not None:
+                    self.stats["respawns"] += 1
+                    self._record_crash(
+                        "worker-lost",
+                        worker.task_id,
+                        f"worker process died "
+                        f"(exitcode {worker.process.exitcode})",
+                    )
+                continue
+            if worker.task_id is None:
+                continue
+            if (
+                cfg.point_timeout_s is not None
+                and now - worker.started_at > cfg.point_timeout_s
+            ):
+                self._reap(
+                    worker,
+                    "timeout",
+                    f"point deadline exceeded ({cfg.point_timeout_s:g}s)",
+                )
+            elif (
+                cfg.heartbeat_stale_s is not None
+                and now - worker.last_beat > cfg.heartbeat_stale_s
+            ):
+                self._reap(
+                    worker,
+                    "timeout",
+                    f"heartbeat stale beyond {cfg.heartbeat_stale_s:g}s",
+                )
+
+    def _reap(self, worker: _Worker, kind: str, detail: str) -> None:
+        task_id = worker.task_id
+        self._pool.remove(worker)
+        worker.process.terminate()
+        worker.process.join(self.config.reap_grace_s)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        self.stats["respawns"] += 1
+        self._record_crash(kind, task_id, detail)
+
+    def _record_crash(self, kind: str, task_id: Any, detail: str) -> None:
+        count = self._crashes.get(task_id, 0) + 1
+        self._crashes[task_id] = count
+        elapsed = time.monotonic() - self._started
+        if kind == "timeout":
+            self.stats["timeouts"] += 1
+            if self.telemetry is not None and self.telemetry.enabled:
+                self.telemetry.on_point_timeout(
+                    elapsed, str(task_id), detail, count
+                )
+        else:
+            self.stats["worker_lost"] += 1
+            if self.telemetry is not None and self.telemetry.enabled:
+                self.telemetry.on_worker_lost(
+                    elapsed, str(task_id), detail, count
+                )
+        self._events.append(
+            SupervisorEvent(
+                kind=kind, task_id=task_id, detail=detail, crashes=count
+            )
+        )
+        if not self.resubmit_crashed:
+            return
+        if count < self.config.quarantine_after:
+            self.submit(task_id, self._payloads[task_id])
+            return
+        self.stats["quarantined"] += 1
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.on_quarantine(
+                time.monotonic() - self._started, str(task_id), count, detail
+            )
+        self._events.append(
+            SupervisorEvent(
+                kind="quarantined",
+                task_id=task_id,
+                detail=detail,
+                crashes=count,
+            )
+        )

@@ -9,9 +9,10 @@ journal as a shared work queue:
 
 * the **parent** claims the pending (algorithm, ``repr(rate)``) keys
   (points whose latest journal record is not a success), submits one
-  picklable :class:`PointSpec` per key to a spawn-context
-  :class:`~concurrent.futures.ProcessPoolExecutor`, and splices
-  results back through the journal's resume path as they complete;
+  picklable :class:`PointSpec` *per attempt* to the pool, reschedules
+  failed attempts itself (retry backoff waits in the parent, so a
+  backing-off point never occupies a worker slot), and splices results
+  back through the journal's resume path as they complete;
 * each **worker** reconstructs its resilience objects (fault injector,
   invariant checker, watchdog) from their config specs, runs the point
   with exactly the serial code path (:func:`repro.sim.sweep._run_point`
@@ -22,21 +23,46 @@ journal as a shared work queue:
   stays line-atomic and a crashed parallel sweep resumes with
   ``resume=True`` exactly like a crashed serial one.
 
+Two execution substrates share this orchestration:
+
+* the default :class:`~concurrent.futures.ProcessPoolExecutor` path,
+  where a dead worker still aborts the sweep (now with the in-flight
+  points journalled as ``worker-lost`` failures first, so ``--resume``
+  retries them);
+* the **supervised** path (pass ``supervisor=SupervisorConfig(...)``),
+  where a :class:`~repro.resilience.PointSupervisor` owns the worker
+  processes outright: workers heartbeat from inside the simulation
+  event loop, hung or dead workers are reaped at a wall-clock deadline
+  or heartbeat-staleness threshold and the pool replenished, crashed
+  points are retried and -- after ``quarantine_after`` crashes --
+  quarantined, and the sweep *degrades* (finishes every healthy point,
+  then raises :class:`SweepSupervisionError`) instead of hanging or
+  aborting.
+
 Determinism: a point's result depends only on its
 :class:`~repro.sim.config.SimulationConfig` (plus the attempt-indexed
-seed bumps), never on scheduling, so ``workers=N`` produces bitwise
-identical per-point stats to ``workers=1``.  Only the journal's line
-*order* differs (completion order instead of sweep order), which the
-latest-wins reader never observes.
+seed bumps), never on scheduling or supervision, so ``workers=N``
+produces bitwise identical per-point stats to ``workers=1``.  Only the
+journal's line *order* differs (completion order instead of sweep
+order), which the latest-wins reader never observes.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import json
 import multiprocessing
+import os
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait as futures_wait,
+)
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -44,14 +70,30 @@ from repro.obs.profiler import PhaseProfiler
 from repro.resilience.checkpoint import SweepJournal, rate_key
 from repro.resilience.faults import FaultConfig
 from repro.resilience.invariants import InvariantConfig
+from repro.resilience.supervisor import PointSupervisor, SupervisorConfig
 from repro.resilience.watchdog import WatchdogConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import BNFCurve, BNFPoint
 
+#: the parent-side supervisor's own trace file inside a telemetry dir
+#: (worker-lost/point-timeout/quarantined events + counters).
+SUPERVISOR_TRACE_NAME = "supervisor.jsonl"
+
+#: test-only chaos hooks, used by the test suite and the CI smoke jobs
+#: to fault a worker deterministically: wedge (spin without
+#: heartbeating) or SIGKILL the worker that picks up a matching point.
+#: Values are ``"*"``, ``"<algorithm>"`` or ``"<algorithm>:<rate_key>"``.
+#: With REPRO_TEST_FAULT_ONCE_FILE set, the first matching worker
+#: claims the file (O_EXCL) and faults; later attempts run normally --
+#: that is how CI proves a reaped point completes on retry.
+WEDGE_POINT_ENV = "REPRO_TEST_WEDGE_POINT"
+KILL_POINT_ENV = "REPRO_TEST_KILL_POINT"
+FAULT_ONCE_FILE_ENV = "REPRO_TEST_FAULT_ONCE_FILE"
+
 
 @dataclass(frozen=True)
 class PointSpec:
-    """One unit of work, picklable across a spawn boundary.
+    """One attempt of one sweep point, picklable across a spawn boundary.
 
     Resilience settings travel as their *config* dataclasses; the
     worker builds the live injector/checker/watchdog itself, because
@@ -71,6 +113,12 @@ class PointSpec:
     #: arm phase profiling in the worker; the per-point attribution
     #: comes back serialized in :attr:`PointResult.profile`.
     profile: bool = False
+    #: which attempt this spec runs (0-based); the parent bumps it when
+    #: rescheduling a failed point, and :func:`repro.sim.sweep._run_point`
+    #: derives the attempt's seed bumps from it exactly like serial.
+    attempt: int = 0
+    #: cadence of the in-loop heartbeat tick under supervision.
+    heartbeat_interval_cycles: float = 1_000.0
 
     @property
     def key(self) -> tuple[str, str]:
@@ -103,55 +151,156 @@ class WorkerPointFailure(RuntimeError):
     """A point failed inside a worker; str() is the worker's last error."""
 
 
-def run_point_spec(spec: PointSpec) -> PointResult:
-    """Worker entry: run one sweep point with the serial retry loop.
+class SweepSupervisionError(RuntimeError):
+    """A supervised sweep finished degraded: some points never landed.
+
+    Raised *after* every healthy point completed and every outcome was
+    journalled, so a ``--resume`` rerun retries exactly the points
+    listed here.  ``failed`` maps (algorithm, rate_key) to the last
+    in-task error of points that exhausted ``max_attempts``;
+    ``quarantined`` maps keys of poison points that crashed their
+    worker ``quarantine_after`` times.
+    """
+
+    def __init__(
+        self,
+        failed: dict[tuple[str, str], str],
+        quarantined: dict[tuple[str, str], str],
+    ) -> None:
+        self.failed = dict(failed)
+        self.quarantined = dict(quarantined)
+        parts = []
+        if self.failed:
+            keys = ", ".join(
+                f"{algorithm} rate={key}" for algorithm, key in sorted(self.failed)
+            )
+            parts.append(f"{len(self.failed)} point(s) failed: {keys}")
+        if self.quarantined:
+            keys = ", ".join(
+                f"{algorithm} rate={key}"
+                for algorithm, key in sorted(self.quarantined)
+            )
+            parts.append(f"{len(self.quarantined)} point(s) quarantined: {keys}")
+        super().__init__(
+            "supervised sweep degraded -- "
+            + "; ".join(parts)
+            + " (all outcomes journalled; rerun with --resume to retry)"
+        )
+
+
+# -- test fault hooks ------------------------------------------------------
+
+
+def _test_fault_matches(value: str, spec: PointSpec) -> bool:
+    if value == "*":
+        return True
+    algorithm, _, key = value.partition(":")
+    if algorithm != spec.config.algorithm:
+        return False
+    return not key or key == rate_key(spec.rate)
+
+
+def _claim_once_file() -> bool:
+    """True when this worker may fault (once-file absent or claimed)."""
+    path = os.environ.get(FAULT_ONCE_FILE_ENV)
+    if not path:
+        return True
+    try:
+        os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+    except FileExistsError:
+        return False
+    return True
+
+
+def _maybe_test_fault(spec: PointSpec) -> None:
+    wedge = os.environ.get(WEDGE_POINT_ENV)
+    if wedge and _test_fault_matches(wedge, spec) and _claim_once_file():
+        while True:  # no heartbeats: the supervisor must reap us
+            time.sleep(3600)
+    kill = os.environ.get(KILL_POINT_ENV)
+    if kill and _test_fault_matches(kill, spec) and _claim_once_file():
+        os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+
+
+# -- worker entries --------------------------------------------------------
+
+
+def run_point_attempt(spec: PointSpec, heartbeat=None) -> PointResult:
+    """Worker entry: run exactly one attempt of one sweep point.
 
     Module-level (picklable by reference) and importing lazily, so a
     spawn-context worker only pays the import once per process, not
-    per point.  Mirrors :func:`repro.sim.sweep.sweep_algorithm`'s
-    attempt loop exactly: retries sleep the same exponential backoff
-    and bump the same simulation/fault seeds.
+    per point.  The attempt index rides on the spec; retry scheduling
+    (and its backoff sleep) is the parent's job, so a failed attempt
+    returns immediately and frees its worker slot.
+
+    *heartbeat* (supervised pools) is threaded into the simulator's
+    heartbeat tick: the beat comes from inside the event loop, so a
+    wedged simulation goes silent and gets reaped.
     """
     from repro.sim.sweep import _point_telemetry, _run_point
 
-    failures: list[str] = []
-    for attempt in range(spec.max_attempts):
-        if attempt and spec.retry_backoff_s > 0:
-            time.sleep(spec.retry_backoff_s * 2 ** (attempt - 1))
-        telemetry = _point_telemetry(
-            spec.config.algorithm,
+    _maybe_test_fault(spec)
+    telemetry = _point_telemetry(
+        spec.config.algorithm,
+        spec.rate,
+        spec.telemetry_dir,
+        spec.collect_counters,
+        profile=spec.profile,
+    )
+    try:
+        point, resilience = _run_point(
+            spec.config,
             spec.rate,
-            spec.telemetry_dir,
-            spec.collect_counters,
-            profile=spec.profile,
+            telemetry,
+            None,
+            spec.faults,
+            spec.invariants,
+            spec.watchdog,
+            spec.attempt,
+            heartbeat=heartbeat,
+            heartbeat_interval_cycles=spec.heartbeat_interval_cycles,
         )
-        try:
-            point, resilience = _run_point(
-                spec.config,
-                spec.rate,
-                telemetry,
-                None,
-                spec.faults,
-                spec.invariants,
-                spec.watchdog,
-                attempt,
-            )
-        except Exception as error:
-            failures.append(f"{type(error).__name__}: {error}")
-            continue
+    except Exception as error:
         return PointResult(
             algorithm=spec.config.algorithm,
             rate=spec.rate,
-            attempts=attempt + 1,
-            point=point,
-            resilience=resilience,
-            failures=tuple(failures),
-            profile=(
-                telemetry.profiler.to_record()
-                if spec.profile and telemetry is not None
-                else None
-            ),
+            attempts=spec.attempt + 1,
+            point=None,
+            resilience=None,
+            failures=(f"{type(error).__name__}: {error}",),
         )
+    return PointResult(
+        algorithm=spec.config.algorithm,
+        rate=spec.rate,
+        attempts=spec.attempt + 1,
+        point=point,
+        resilience=resilience,
+        failures=(),
+        profile=(
+            telemetry.profiler.to_record()
+            if spec.profile and telemetry is not None
+            else None
+        ),
+    )
+
+
+def run_point_spec(spec: PointSpec) -> PointResult:
+    """Run one sweep point with the full serial retry loop, in-process.
+
+    The pool itself schedules per-attempt (:func:`run_point_attempt`)
+    with parent-side backoff; this compatibility entry keeps the whole
+    attempt loop -- sleeps included -- inside one call for direct
+    users and tests.
+    """
+    failures: list[str] = []
+    for attempt in range(spec.attempt, spec.max_attempts):
+        if attempt and spec.retry_backoff_s > 0:
+            time.sleep(spec.retry_backoff_s * 2 ** (attempt - 1))
+        result = run_point_attempt(replace(spec, attempt=attempt))
+        if result.ok:
+            return replace(result, failures=tuple(failures))
+        failures.extend(result.failures)
     return PointResult(
         algorithm=spec.config.algorithm,
         rate=spec.rate,
@@ -162,6 +311,49 @@ def run_point_spec(spec: PointSpec) -> PointResult:
     )
 
 
+def _supervised_point(spec: PointSpec, heartbeat) -> PointResult:
+    """The :class:`~repro.resilience.PointSupervisor` task runner."""
+    return run_point_attempt(spec, heartbeat=heartbeat)
+
+
+def _rerun_quarantined_serially(spec: PointSpec) -> str:
+    """Re-run a quarantined point in-process to capture the traceback.
+
+    Only used with ``SupervisorConfig.rerun_quarantined``: a point
+    that crashes its *worker* gives the journal nothing but an
+    exitcode, while an in-process run surfaces the real Python
+    traceback -- at the cost of betting the parent that the crash was
+    an exception, not a process-killer.  The test fault hooks are
+    deliberately not consulted here.
+    """
+    from repro.sim.sweep import _point_telemetry, _run_point
+
+    telemetry = _point_telemetry(
+        spec.config.algorithm, spec.rate, None, spec.collect_counters
+    )
+    try:
+        _run_point(
+            spec.config,
+            spec.rate,
+            telemetry,
+            None,
+            spec.faults,
+            spec.invariants,
+            spec.watchdog,
+            spec.attempt,
+        )
+    except Exception:
+        return traceback.format_exc(limit=8).strip()
+    return "completed cleanly in-process"
+
+
+def _backoff_delay(retry_backoff_s: float, next_attempt: int) -> float:
+    """Serial-identical exponential backoff before attempt *next_attempt*."""
+    if next_attempt <= 0 or retry_backoff_s <= 0:
+        return 0.0
+    return retry_backoff_s * 2 ** (next_attempt - 1)
+
+
 class ParallelSweepRunner:
     """Fan a (multi-)algorithm load sweep out over a process pool.
 
@@ -170,9 +362,19 @@ class ParallelSweepRunner:
     :meth:`run_algorithm` (a single curve).  ``workers=1`` is valid
     but pointless -- the sweep functions only delegate here when
     ``workers > 1``.
+
+    Pass a :class:`~repro.resilience.SupervisorConfig` as *supervisor*
+    to run the pool under a :class:`~repro.resilience.PointSupervisor`
+    (heartbeats, per-point deadlines, worker reaping, poison-point
+    quarantine) instead of a bare ``ProcessPoolExecutor``.
     """
 
-    def __init__(self, workers: int, mp_context: str = "spawn") -> None:
+    def __init__(
+        self,
+        workers: int,
+        mp_context: str = "spawn",
+        supervisor: SupervisorConfig | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
@@ -180,6 +382,7 @@ class ParallelSweepRunner:
         #: sinks, RNGs, the loaded journal), so per-point determinism
         #: holds regardless of platform default start method.
         self.mp_context = mp_context
+        self.supervisor = supervisor
 
     # -- public API ------------------------------------------------------
 
@@ -212,19 +415,30 @@ class ParallelSweepRunner:
         its :class:`PointResult`; the parent merges the records into
         *profile_into* and into the sweep manifest, so "where did the
         pool's wall time go" survives the process boundary.
+
+        The sweep manifest is written even when the sweep fails (in a
+        ``finally``), so an aborted run still documents what it did.
         """
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         started = time.perf_counter()
         completed: dict[tuple[str, str], BNFPoint] = {}
+        resumed_keys: set[tuple[str, str]] = set()
         pending: list[PointSpec] = []
+        heartbeat_cycles = (
+            self.supervisor.heartbeat_interval_cycles
+            if self.supervisor is not None
+            else 1_000.0
+        )
         for algorithm in algorithms:
             algo_config = config.with_algorithm(algorithm)
             for rate in rates:
                 if resume and journal is not None:
                     cached = journal.completed_point(algorithm, rate)
                     if cached is not None:
-                        completed[(algorithm, rate_key(rate))] = cached
+                        key = (algorithm, rate_key(rate))
+                        completed[key] = cached
+                        resumed_keys.add(key)
                         if progress is not None:
                             progress(
                                 f"{algorithm} rate={rate:.4g} -> resumed "
@@ -244,18 +458,45 @@ class ParallelSweepRunner:
                     max_attempts=max_attempts,
                     retry_backoff_s=retry_backoff_s,
                     profile=profile_into is not None,
+                    heartbeat_interval_cycles=heartbeat_cycles,
                 ))
-        if pending:
-            self._drain_pool(
-                pending, completed, journal, progress, max_attempts,
-                profile_into,
-            )
+        failed: dict[tuple[str, str], str] = {}
+        quarantined: dict[tuple[str, str], str] = {}
+        supervisor_summary: dict | None = None
+        try:
+            if pending:
+                if self.supervisor is not None:
+                    failed, quarantined, supervisor_summary = (
+                        self._drain_supervised(
+                            pending, completed, journal, progress,
+                            max_attempts, profile_into, telemetry_dir,
+                        )
+                    )
+                else:
+                    self._drain_pool(
+                        pending, completed, journal, progress, max_attempts,
+                        profile_into,
+                    )
+        finally:
+            if telemetry_dir is not None:
+                self._write_sweep_manifest(
+                    Path(telemetry_dir),
+                    algorithms,
+                    rates,
+                    journal,
+                    time.perf_counter() - started,
+                    resumed_keys=resumed_keys,
+                    profile=profile_into,
+                    supervisor_summary=supervisor_summary,
+                )
+        if failed or quarantined:
+            raise SweepSupervisionError(failed, quarantined)
         if resume and journal is not None:
             # A resumed sweep that reached this line replayed (or
             # re-ran) every point, so the retry history is dead weight:
             # rewrite the journal latest-wins.
             journal.compact()
-        curves = {
+        return {
             algorithm: BNFCurve(
                 label=algorithm,
                 points=[
@@ -264,19 +505,6 @@ class ParallelSweepRunner:
             )
             for algorithm in algorithms
         }
-        if telemetry_dir is not None:
-            self._write_sweep_manifest(
-                Path(telemetry_dir),
-                algorithms,
-                rates,
-                journal,
-                time.perf_counter() - started,
-                resumed=len(completed) - len(pending)
-                if resume and journal is not None
-                else 0,
-                profile=profile_into,
-            )
-        return curves
 
     def run_algorithm(
         self,
@@ -288,7 +516,54 @@ class ParallelSweepRunner:
         curves = self.run(config, (config.algorithm,), rates, **kwargs)
         return curves[config.algorithm]
 
-    # -- pool plumbing ---------------------------------------------------
+    # -- shared result handling ------------------------------------------
+
+    def _complete_point(
+        self,
+        result: PointResult,
+        completed: dict[tuple[str, str], BNFPoint],
+        journal: SweepJournal | None,
+        progress: Callable[[str], None] | None,
+        profile_into: PhaseProfiler | None,
+    ) -> None:
+        if profile_into is not None and result.profile is not None:
+            profile_into.merge_record(result.profile)
+        if journal is not None:
+            journal.record_success(
+                result.algorithm,
+                result.rate,
+                result.point,
+                attempts=result.attempts,
+                resilience=result.resilience,
+            )
+        completed[(result.algorithm, rate_key(result.rate))] = result.point
+        if progress is not None:
+            progress(
+                f"{result.algorithm} rate={result.rate:.4g} -> "
+                f"thr={result.point.throughput:.3f} flits/router/ns, "
+                f"lat={result.point.latency_ns:.1f} ns"
+            )
+
+    def _journal_attempt_failure(
+        self,
+        result: PointResult,
+        journal: SweepJournal | None,
+        progress: Callable[[str], None] | None,
+        max_attempts: int,
+    ) -> None:
+        message = result.failures[-1]
+        if journal is not None:
+            journal.record_failure(
+                result.algorithm, result.rate, result.attempts, message
+            )
+        if progress is not None:
+            progress(
+                f"{result.algorithm} rate={result.rate:.4g} "
+                f"attempt {result.attempts}/{max_attempts} failed: "
+                f"{message}"
+            )
+
+    # -- executor-pool plumbing ------------------------------------------
 
     def _drain_pool(
         self,
@@ -299,32 +574,82 @@ class ParallelSweepRunner:
         max_attempts: int,
         profile_into: PhaseProfiler | None = None,
     ) -> None:
-        """Run the pending specs; journal results in completion order."""
+        """Run the pending specs; journal results in completion order.
+
+        Retries are rescheduled *here*, not inside the worker: a failed
+        attempt returns immediately, its backoff elapses on the
+        parent's delayed heap, and the worker slot serves other points
+        meanwhile.
+        """
         from repro.sim.sweep import SweepPointError
 
         context = multiprocessing.get_context(self.mp_context)
         workers = min(self.workers, len(pending))
+        #: (ready_at, seq, spec) -- retries waiting out their backoff.
+        delayed: list[tuple[float, int, PointSpec]] = []
+        seq = itertools.count()
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=context
         ) as pool:
             futures = {
-                pool.submit(run_point_spec, spec): spec for spec in pending
+                pool.submit(run_point_attempt, spec): spec for spec in pending
             }
-            for future in as_completed(futures):
-                result: PointResult = future.result()
-                if journal is not None:
-                    for attempt, message in enumerate(result.failures, start=1):
-                        journal.record_failure(
-                            result.algorithm, result.rate, attempt, message
+            while futures or delayed:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, _, spec = heapq.heappop(delayed)
+                    futures[pool.submit(run_point_attempt, spec)] = spec
+                if not futures:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                    continue
+                timeout = (
+                    max(0.0, delayed[0][0] - time.monotonic())
+                    if delayed
+                    else None
+                )
+                done, _ = futures_wait(
+                    set(futures), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                broken: list[tuple[PointSpec, BaseException]] = []
+                for future in done:
+                    spec = futures.pop(future)
+                    try:
+                        result: PointResult = future.result()
+                    except Exception as error:
+                        # Worker death: BrokenProcessPool (which also
+                        # failed every other pending future in this
+                        # batch) or a result that broke unpickling.
+                        # Journal the in-flight point(s) as worker-lost
+                        # failures *before* surfacing the error, so a
+                        # --resume rerun retries them.
+                        if journal is not None:
+                            journal.record_failure(
+                                spec.config.algorithm,
+                                spec.rate,
+                                spec.attempt + 1,
+                                f"{type(error).__name__}: {error}",
+                                reason="worker-lost",
+                            )
+                        broken.append((spec, error))
+                        continue
+                    if result.ok:
+                        self._complete_point(
+                            result, completed, journal, progress, profile_into
                         )
-                if progress is not None:
-                    for attempt, message in enumerate(result.failures, start=1):
-                        progress(
-                            f"{result.algorithm} rate={result.rate:.4g} "
-                            f"attempt {attempt}/{max_attempts} failed: "
-                            f"{message}"
-                        )
-                if not result.ok:
+                        continue
+                    self._journal_attempt_failure(
+                        result, journal, progress, max_attempts
+                    )
+                    if result.attempts < max_attempts:
+                        retry = replace(spec, attempt=result.attempts)
+                        heapq.heappush(delayed, (
+                            time.monotonic() + _backoff_delay(
+                                spec.retry_backoff_s, result.attempts
+                            ),
+                            next(seq),
+                            retry,
+                        ))
+                        continue
                     # Fail the sweep like the serial runner: everything
                     # already journalled stays journalled, the rest is
                     # abandoned (their futures are cancelled) and a
@@ -336,26 +661,142 @@ class ParallelSweepRunner:
                         result.attempts,
                         WorkerPointFailure(result.failures[-1]),
                     )
-                if profile_into is not None and result.profile is not None:
-                    profile_into.merge_record(result.profile)
-                if journal is not None:
-                    journal.record_success(
-                        result.algorithm,
-                        result.rate,
-                        result.point,
-                        attempts=result.attempts,
-                        resilience=result.resilience,
+                if broken:
+                    spec, error = broken[0]
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise SweepPointError(
+                        spec.config.algorithm,
+                        spec.rate,
+                        spec.attempt + 1,
+                        WorkerPointFailure(
+                            f"worker process died before returning this "
+                            f"point ({type(error).__name__}: {error}); "
+                            f"use supervisor=SupervisorConfig(...) to "
+                            f"survive worker loss"
+                        ),
                     )
-                completed[
-                    (result.algorithm, rate_key(result.rate))
-                ] = result.point
-                if progress is not None:
-                    progress(
-                        f"{result.algorithm} rate={result.rate:.4g} -> "
-                        f"thr={result.point.throughput:.3f} "
-                        f"flits/router/ns, "
-                        f"lat={result.point.latency_ns:.1f} ns"
-                    )
+
+    # -- supervised plumbing ---------------------------------------------
+
+    def _drain_supervised(
+        self,
+        pending: list[PointSpec],
+        completed: dict[tuple[str, str], BNFPoint],
+        journal: SweepJournal | None,
+        progress: Callable[[str], None] | None,
+        max_attempts: int,
+        profile_into: PhaseProfiler | None,
+        telemetry_dir: Path | str | None,
+    ) -> tuple[dict, dict, dict]:
+        """Run the pending specs under a :class:`PointSupervisor`.
+
+        Unlike the executor path, supervision *degrades*: a point that
+        exhausts its attempts or gets quarantined is recorded and the
+        rest of the sweep continues; the caller raises
+        :class:`SweepSupervisionError` at the end if anything is
+        missing.  Returns (failed, quarantined, supervisor summary).
+        """
+        assert self.supervisor is not None
+        specs: dict[tuple[str, str], PointSpec] = {
+            spec.key: spec for spec in pending
+        }
+        failed: dict[tuple[str, str], str] = {}
+        quarantined: dict[tuple[str, str], str] = {}
+        telemetry = None
+        if telemetry_dir is not None:
+            from repro.obs.sink import JsonlSink
+            from repro.obs.telemetry import Telemetry
+
+            path = Path(telemetry_dir) / SUPERVISOR_TRACE_NAME
+            path.parent.mkdir(parents=True, exist_ok=True)
+            telemetry = Telemetry(sink=JsonlSink(path))
+        supervisor = PointSupervisor(
+            workers=min(self.workers, len(pending)),
+            runner=_supervised_point,
+            config=self.supervisor,
+            mp_context=self.mp_context,
+            telemetry=telemetry,
+            resubmit_crashed=True,
+        )
+        try:
+            with supervisor:
+                for spec in pending:
+                    supervisor.submit(spec.key, spec)
+                while supervisor.outstanding:
+                    event = supervisor.next_event()
+                    key = event.task_id
+                    spec = specs[key]
+                    if event.kind == "result":
+                        result: PointResult = event.result
+                        if result.ok:
+                            self._complete_point(
+                                result, completed, journal, progress,
+                                profile_into,
+                            )
+                            continue
+                        self._journal_attempt_failure(
+                            result, journal, progress, max_attempts
+                        )
+                        if result.attempts < max_attempts:
+                            retry = replace(spec, attempt=result.attempts)
+                            specs[key] = retry
+                            supervisor.submit(
+                                key,
+                                retry,
+                                delay_s=_backoff_delay(
+                                    spec.retry_backoff_s, result.attempts
+                                ),
+                            )
+                        else:
+                            failed[key] = result.failures[-1]
+                    elif event.kind in ("worker-lost", "timeout"):
+                        # The supervisor already resubmitted (or will
+                        # quarantine); journal the crash so the retry
+                        # trail survives a parent crash too.
+                        if journal is not None:
+                            journal.record_failure(
+                                spec.config.algorithm,
+                                spec.rate,
+                                spec.attempt + 1,
+                                event.detail,
+                                reason=event.kind,
+                            )
+                        if progress is not None:
+                            progress(
+                                f"{spec.config.algorithm} "
+                                f"rate={spec.rate:.4g} {event.kind} "
+                                f"(crash {event.crashes}/"
+                                f"{self.supervisor.quarantine_after}): "
+                                f"{event.detail}"
+                            )
+                    elif event.kind == "quarantined":
+                        detail = event.detail
+                        if self.supervisor.rerun_quarantined:
+                            detail = (
+                                f"{detail}; serial re-run: "
+                                f"{_rerun_quarantined_serially(spec)}"
+                            )
+                        if journal is not None:
+                            journal.record_quarantined(
+                                spec.config.algorithm,
+                                spec.rate,
+                                crashes=event.crashes,
+                                error=detail,
+                            )
+                        quarantined[key] = detail
+                        if progress is not None:
+                            progress(
+                                f"{spec.config.algorithm} "
+                                f"rate={spec.rate:.4g} quarantined after "
+                                f"{event.crashes} supervised crash(es)"
+                            )
+            summary = supervisor.summary()
+        finally:
+            if telemetry is not None:
+                telemetry.finalize()
+        return failed, quarantined, summary
+
+    # -- the sweep manifest ----------------------------------------------
 
     def _write_sweep_manifest(
         self,
@@ -364,8 +805,9 @@ class ParallelSweepRunner:
         rates: Sequence[float],
         journal: SweepJournal | None,
         wall_time_s: float,
-        resumed: int,
+        resumed_keys: set[tuple[str, str]],
         profile: PhaseProfiler | None = None,
+        supervisor_summary: dict | None = None,
     ) -> None:
         """Merge the per-worker traces into one sweep-level manifest.
 
@@ -374,29 +816,42 @@ class ParallelSweepRunner:
         piece that ties them back together -- one JSON document mapping
         every (algorithm, rate) to its trace file, alongside the pool
         shape and wall time, so ``repro obs`` users and notebooks can
-        enumerate a parallel sweep's traces without globbing.
+        enumerate a parallel sweep's traces without globbing.  Points
+        resumed from the journal produced no trace in *this* run, so
+        they carry ``"trace": null`` and ``"resumed": true`` instead of
+        pointing at a file that may not exist in this telemetry dir.
         """
         from repro.sim.sweep import trace_filename
 
-        points = [
-            {
-                "algorithm": algorithm,
-                "rate": rate,
-                "rate_key": rate_key(rate),
-                "trace": trace_filename(algorithm, rate),
-            }
-            for algorithm in algorithms
-            for rate in rates
-        ]
+        points = []
+        for algorithm in algorithms:
+            for rate in rates:
+                resumed = (algorithm, rate_key(rate)) in resumed_keys
+                points.append({
+                    "algorithm": algorithm,
+                    "rate": rate,
+                    "rate_key": rate_key(rate),
+                    "trace": (
+                        None if resumed else trace_filename(algorithm, rate)
+                    ),
+                    "resumed": resumed,
+                })
         manifest = {
             "kind": "parallel-sweep-manifest",
             "workers": self.workers,
             "mp_context": self.mp_context,
             "wall_time_s": wall_time_s,
-            "resumed_points": resumed,
+            "resumed_points": len(resumed_keys),
             "journal": str(journal.path) if journal is not None else None,
             "points": points,
         }
+        if supervisor_summary is not None:
+            # Tuning knobs + live reap/quarantine totals, and where the
+            # supervisor's own trace (events + counters) landed.
+            manifest["supervisor"] = {
+                **supervisor_summary,
+                "trace": SUPERVISOR_TRACE_NAME,
+            }
         if profile is not None:
             # The workers' merged phase attribution: where the pool's
             # aggregate wall time went (arbitration/traversal/delivery).

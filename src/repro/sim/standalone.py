@@ -117,10 +117,14 @@ class StandaloneRouterModel:
         telemetry: Telemetry | None = None,
         invariants=None,
         faults=None,
+        heartbeat=None,
     ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.invariants = invariants
+        #: optional liveness callable (see repro.resilience.supervisor),
+        #: driven every few trials from inside :meth:`run`'s loop.
+        self.heartbeat = heartbeat
         if faults is not None and not hasattr(faults, "filter_matching"):
             # A FaultConfig: build the injector here (lazy import keeps
             # repro.sim free of a hard dependency on the resilience
@@ -153,7 +157,10 @@ class StandaloneRouterModel:
         stats = RunningStats()
         invariants = self.invariants
         faults = self.faults
+        heartbeat = self.heartbeat
         for trial in range(self.config.trials):
+            if heartbeat is not None and trial % 64 == 0:
+                heartbeat()  # wall-time throttled by the sender
             packets = self._generate_packets()
             free_outputs = self._generate_free_outputs()
             nominations = self._build_nominations(packets, free_outputs)

@@ -25,6 +25,7 @@ from repro.obs.telemetry import Telemetry
 from repro.resilience.checkpoint import SweepJournal
 from repro.resilience.faults import FaultConfig, FaultInjector
 from repro.resilience.invariants import InvariantChecker, InvariantConfig
+from repro.resilience.supervisor import SupervisorConfig
 from repro.resilience.watchdog import ProgressWatchdog, WatchdogConfig
 from repro.sim.config import SimulationConfig
 from repro.sim.metrics import BNFCurve, BNFPoint
@@ -95,6 +96,10 @@ class SweepGuard:
     resume: bool = False
     max_attempts: int = 1
     retry_backoff_s: float = 0.0
+    #: run parallel sweeps under a PointSupervisor (heartbeats,
+    #: per-point deadlines, reaping, quarantine); serial sweeps ignore
+    #: it -- there is no worker process to supervise.
+    supervisor: SupervisorConfig | None = None
 
     def scoped(self, name: str) -> "SweepGuard":
         """A copy whose journal lives at ``<journal_path>/<name>.journal.jsonl``."""
@@ -119,6 +124,7 @@ class SweepGuard:
             "resume": self.resume,
             "max_attempts": self.max_attempts,
             "retry_backoff_s": self.retry_backoff_s,
+            "supervisor": self.supervisor,
         }
 
 
@@ -146,12 +152,16 @@ def _run_point(
     invariants: InvariantConfig | None,
     watchdog: WatchdogConfig | None,
     attempt: int,
+    heartbeat: Callable[[], None] | None = None,
+    heartbeat_interval_cycles: float = 1_000.0,
 ) -> tuple[BNFPoint, dict | None]:
     """One guarded point; returns (point, resilience summary or None).
 
     Retries re-seed both the simulation and the fault schedule (a
     deterministic failure would otherwise recur verbatim), keeping the
-    first attempt byte-identical to an unguarded run.
+    first attempt byte-identical to an unguarded run.  *heartbeat*
+    (supervised workers) is called from inside the event loop on a
+    cycle cadence; it never influences the simulation itself.
     """
     point_config = config.with_rate(rate)
     if attempt:
@@ -171,6 +181,8 @@ def _run_point(
         faults=injector,
         invariants=checker,
         watchdog=dog,
+        heartbeat=heartbeat,
+        heartbeat_interval_cycles=heartbeat_interval_cycles,
     )
     if observer_factory is not None:
         for observer in observer_factory(config.algorithm, rate):
@@ -218,6 +230,7 @@ def sweep_algorithm(
     max_attempts: int = 1,
     retry_backoff_s: float = 0.0,
     workers: int = 1,
+    supervisor: SupervisorConfig | None = None,
     profile_into: PhaseProfiler | None = None,
 ) -> BNFCurve:
     """Run one algorithm over a set of offered loads.
@@ -257,6 +270,14 @@ def sweep_algorithm(
             process pool (see :mod:`repro.sim.parallel`) with bitwise
             identical per-point results; 1 (the default) keeps the
             serial in-process path.
+        supervisor: with ``workers > 1``, run the pool under a
+            :class:`~repro.resilience.PointSupervisor` -- workers
+            heartbeat from inside the event loop, hung or dead workers
+            are reaped at the configured deadline/staleness bound and
+            replaced, and points that crash their worker
+            ``quarantine_after`` times are quarantined instead of
+            retried forever.  Ignored by the serial path (there is no
+            worker process to supervise).
         profile_into: when set, every point runs with phase profiling
             enabled and its arbitration/traversal/delivery wall-time
             attribution is merged into this
@@ -276,7 +297,9 @@ def sweep_algorithm(
             )
         from repro.sim.parallel import ParallelSweepRunner
 
-        return ParallelSweepRunner(workers=workers).run_algorithm(
+        return ParallelSweepRunner(
+            workers=workers, supervisor=supervisor
+        ).run_algorithm(
             config,
             rates,
             progress=progress,
@@ -384,6 +407,7 @@ def sweep_algorithms(
     max_attempts: int = 1,
     retry_backoff_s: float = 0.0,
     workers: int = 1,
+    supervisor: SupervisorConfig | None = None,
     profile_into: PhaseProfiler | None = None,
 ) -> dict[str, BNFCurve]:
     """Run several algorithms over the same loads (one Figure 10 panel).
@@ -396,7 +420,9 @@ def sweep_algorithms(
     if workers > 1:
         from repro.sim.parallel import ParallelSweepRunner
 
-        return ParallelSweepRunner(workers=workers).run(
+        return ParallelSweepRunner(
+            workers=workers, supervisor=supervisor
+        ).run(
             config,
             algorithms,
             rates,

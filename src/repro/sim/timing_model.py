@@ -83,8 +83,15 @@ class NetworkSimulator:
         invariants: InvariantConfig | InvariantChecker | None = None,
         watchdog: WatchdogConfig | ProgressWatchdog | None = None,
         finalize_at_drain: bool = False,
+        heartbeat=None,
+        heartbeat_interval_cycles: float = 1_000.0,
     ) -> None:
         self.config = config
+        #: optional liveness callable (see repro.resilience.supervisor):
+        #: driven from inside the event loop via a periodic tick, so a
+        #: wedged loop stops beating -- which is the whole point.
+        self.heartbeat = heartbeat
+        self._heartbeat_interval = float(heartbeat_interval_cycles)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if faults is not None and not isinstance(faults, FaultInjector):
             faults = FaultInjector(faults)
@@ -265,6 +272,11 @@ class NetworkSimulator:
         if self.watchdog is not None:
             self.queue.schedule_after(
                 self.watchdog.config.window_cycles, self._watchdog_tick
+            )
+        if self.heartbeat is not None:
+            self.heartbeat()  # "simulation entered its event loop"
+            self.queue.schedule_after(
+                self._heartbeat_interval, self._heartbeat_tick
             )
         self.queue.run_until(self._window_end)
         if self.invariants is not None:
@@ -624,6 +636,19 @@ class NetworkSimulator:
         if self.queue.now < self._window_end or self._outstanding_work():
             self.queue.schedule_after(
                 self.watchdog.config.window_cycles, self._watchdog_tick
+            )
+
+    def _heartbeat_tick(self) -> None:
+        # Deliberately cycle-scheduled, not thread-driven: the beat
+        # only fires while the event loop is actually making progress,
+        # so a wedged simulation goes silent and the supervisor's
+        # staleness threshold catches it.  Stops rescheduling once the
+        # window closed with nothing outstanding (same termination
+        # rule as the invariant/watchdog ticks, so drain still ends).
+        self.heartbeat()
+        if self.queue.now < self._window_end or self._outstanding_work():
+            self.queue.schedule_after(
+                self._heartbeat_interval, self._heartbeat_tick
             )
 
     # -- delivery & statistics ------------------------------------------------------

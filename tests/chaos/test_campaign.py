@@ -176,3 +176,109 @@ class TestManifestReport:
 
         assert main(["report", str(tmp_path)]) == 1
         assert MANIFEST_NAME in capsys.readouterr().err
+
+
+class TestSupervisedCampaign:
+    """Scenarios under a PointSupervisor: wedges become data, not hangs."""
+
+    @staticmethod
+    def _supervised_config(output_dir, **overrides):
+        from repro.resilience.supervisor import SupervisorConfig
+
+        return campaign_config(
+            output_dir,
+            workers=2,
+            inject_deadlock=False,
+            count=2,
+            # Staleness must comfortably exceed a healthy worker's beat
+            # gap when N CPU-bound workers share few cores, or loaded
+            # hosts reap spuriously and break manifest determinism.
+            supervisor=SupervisorConfig(
+                point_timeout_s=60.0,
+                heartbeat_stale_s=5.0,
+                poll_interval_s=0.02,
+                reap_grace_s=2.0,
+            ),
+            **overrides,
+        )
+
+    def test_supervised_matches_plain_pool(self, tmp_path, serial_campaign):
+        """Without faults, supervision changes nothing: outcome digests
+        equal the serial campaign's."""
+        from repro.resilience.supervisor import SupervisorConfig
+
+        _, serial = serial_campaign
+        config = campaign_config(
+            tmp_path / "supervised",
+            workers=2,
+            supervisor=SupervisorConfig(point_timeout_s=120.0),
+        )
+        result = run_campaign(config)
+        for index, outcome in serial.outcomes.items():
+            assert result.outcomes[index].digest() == outcome.digest()
+
+    def test_wedged_scenario_reaped_as_timeout(self, tmp_path, monkeypatch):
+        import time as _time
+
+        from repro.chaos.campaign import WEDGE_SCENARIO_ENV
+
+        config = self._supervised_config(tmp_path / "wedged")
+        wedged_id = campaign_scenarios(config)[0].scenario_id
+        monkeypatch.setenv(WEDGE_SCENARIO_ENV, wedged_id)
+        started = _time.monotonic()
+        result = run_campaign(config)
+        assert _time.monotonic() - started < 30.0, "reap must not hang"
+        outcome = result.outcomes[0]
+        assert outcome.status == "timeout"
+        assert "reaped by supervisor" in outcome.detail
+        # A timeout is explained chaos product: it does not fail the
+        # campaign, but it is captured with a bundle like any failure.
+        assert result.crashed == []
+        assert any(
+            scenario.scenario_id == wedged_id
+            for scenario, _, _ in result.failures
+        )
+        # Every other scenario still completed.
+        assert all(
+            result.outcomes[s.index].status != "timeout"
+            for s in result.scenarios
+            if s.scenario_id != wedged_id
+        )
+
+    def test_wedged_manifest_byte_identical_across_reruns(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: the supervised reap is deterministic data -- the
+        manifest (static timeout detail included) is byte-identical on
+        a rerun."""
+        from repro.chaos.campaign import WEDGE_SCENARIO_ENV
+
+        config_a = self._supervised_config(tmp_path / "a")
+        config_b = self._supervised_config(tmp_path / "b")
+        wedged_id = campaign_scenarios(config_a)[0].scenario_id
+        monkeypatch.setenv(WEDGE_SCENARIO_ENV, wedged_id)
+        result_a = run_campaign(config_a)
+        result_b = run_campaign(config_b)
+        assert result_a.manifest_path.read_bytes() == (
+            result_b.manifest_path.read_bytes()
+        )
+        manifest = json.loads(result_a.manifest_path.read_text())
+        assert manifest["supervisor"]["timeouts"] == 1
+        assert manifest["supervisor"]["heartbeat_stale_s"] == 5.0
+        assert manifest["totals"]["timeout"] == 1
+
+    def test_resume_skips_the_recorded_timeout(self, tmp_path, monkeypatch):
+        from dataclasses import replace as _replace
+
+        from repro.chaos.campaign import WEDGE_SCENARIO_ENV
+
+        config = self._supervised_config(tmp_path / "resume")
+        wedged_id = campaign_scenarios(config)[0].scenario_id
+        monkeypatch.setenv(WEDGE_SCENARIO_ENV, wedged_id)
+        first = run_campaign(config)
+        monkeypatch.delenv(WEDGE_SCENARIO_ENV)
+        resumed = run_campaign(_replace(config, resume=True))
+        # Chaos outcomes are data: the recorded timeout is completed
+        # campaign work, so resume skips it rather than re-running.
+        assert resumed.resumed == len(first.scenarios)
+        assert resumed.outcomes[0].status == "timeout"

@@ -414,3 +414,113 @@ class TestSweepGuard:
         kwargs = SweepGuard().sweep_kwargs()
         assert kwargs["journal"] is None
         assert kwargs["faults"] is None
+
+
+class TestTornTail:
+    """Crash-mid-append recovery: salvage the tail, never mid-file rot."""
+
+    def seeded_journal(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        journal.record_success("PIM1", 0.01, sample_point(0.01))
+        journal.record_success("SPAA-base", 0.02, sample_point(0.02))
+        return journal
+
+    def test_torn_final_line_is_salvaged(self, tmp_path):
+        journal = self.seeded_journal(tmp_path)
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "sweep-point", "status": "ok", "alg')
+        fresh = SweepJournal(journal.path)
+        fresh.load()
+        assert fresh.salvaged_tail is not None
+        assert fresh.salvaged_tail.startswith('{"kind"')
+        # The intact prefix loads; the in-flight point simply retries.
+        assert fresh.completed_point("PIM1", 0.01) is not None
+        assert fresh.completed_point("SPAA-base", 0.02) is not None
+        assert fresh.completed_count() == 2
+
+    def test_next_append_discards_the_torn_tail(self, tmp_path):
+        journal = self.seeded_journal(tmp_path)
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": tru')
+        fresh = SweepJournal(journal.path)
+        fresh.record_success("WFA-base", 0.03, sample_point(0.03))
+        # The file is valid JSONL again: the torn bytes are gone and
+        # every surviving record parses.
+        text = journal.path.read_text()
+        assert '{"torn"' not in text
+        records = [json.loads(line) for line in text.splitlines()]
+        assert len(records) == 3
+        reloaded = SweepJournal(journal.path)
+        reloaded.load()
+        assert reloaded.salvaged_tail is None
+        assert reloaded.completed_count() == 3
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        journal = self.seeded_journal(tmp_path)
+        lines = journal.path.read_text().splitlines()
+        lines[0] = lines[0][:20]  # truncate a *non-final* record
+        journal.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt journal line"):
+            SweepJournal(journal.path).load()
+
+    def test_final_invalid_line_with_newline_still_raises(self, tmp_path):
+        """A final line whose newline made it to disk cannot be a torn
+        append -- that is corruption, and it must stay loud."""
+        journal = self.seeded_journal(tmp_path)
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"broken": \n')
+        with pytest.raises(ValueError, match="corrupt journal line"):
+            SweepJournal(journal.path).load()
+
+    def test_valid_final_line_missing_newline_is_completed(self, tmp_path):
+        """The crash can also land between the record write and its
+        newline; the next append must complete the line, not glue two
+        records together."""
+        journal = self.seeded_journal(tmp_path)
+        with journal.path.open("r+b") as handle:
+            handle.seek(0, 2)
+            handle.truncate(handle.tell() - 1)  # drop the last "\n"
+        fresh = SweepJournal(journal.path)
+        fresh.load()
+        assert fresh.completed_count() == 2
+        fresh.record_success("WFA-base", 0.03, sample_point(0.03))
+        records = [
+            json.loads(line)
+            for line in journal.path.read_text().splitlines()
+        ]
+        assert [r["algorithm"] for r in records] == [
+            "PIM1", "SPAA-base", "WFA-base",
+        ]
+
+    def test_compact_drops_the_torn_tail(self, tmp_path):
+        journal = self.seeded_journal(tmp_path)
+        journal.record_failure("PIM1", 0.01, attempt=1, error="boom")
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"torn": tru')
+        fresh = SweepJournal(journal.path)
+        assert fresh.compact() > 0
+        text = journal.path.read_text()
+        assert '{"torn"' not in text
+        for line in text.splitlines():
+            json.loads(line)
+
+    def test_resume_after_torn_tail_completes_the_sweep(self, tmp_path):
+        """Acceptance: a sweep killed mid-append resumes cleanly."""
+        journal_path = tmp_path / "sweep.jsonl"
+        sweep_algorithm(
+            tiny_config(),
+            rates=(0.005,),
+            journal=SweepJournal(journal_path),
+        )
+        with journal_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "sweep-point", "status": "ok"')
+        curve = sweep_algorithm(
+            tiny_config(),
+            rates=(0.005, 0.02),
+            journal=SweepJournal(journal_path),
+            resume=True,
+        )
+        assert len(curve.points) == 2
+        replayed = SweepJournal(journal_path)
+        assert replayed.completed_count() == 2
+        assert replayed.salvaged_tail is None
