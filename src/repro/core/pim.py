@@ -51,6 +51,7 @@ class PIMArbiter(Arbiter):
         if iterations is not None and iterations < 1:
             raise ValueError("iterations must be >= 1 (or None for convergence)")
         self._rng = rng
+        self._keyed = getattr(rng, "keyed_draw", None)
         self._iterations = iterations
         self._rotary = rotary
         suffix = "" if not rotary else "-rotary"
@@ -58,6 +59,18 @@ class PIMArbiter(Arbiter):
             self.name = "PIM" + suffix
         else:
             self.name = f"PIM{iterations}" + suffix
+
+    def _draw(self, kind: str, round_index: int, which: int, n: int) -> int:
+        """One uniform draw in ``range(n)``.
+
+        With a keyed rng (:class:`repro.kernels.rng.KeyedTrialRandom`)
+        the draw is addressed by ``(kind, round, output-or-row)`` so the
+        vectorized PIM1 kernel can reproduce it positionally; a plain
+        ``random.Random`` consumes its sequential stream instead.
+        """
+        if self._keyed is not None:
+            return self._keyed((kind, round_index, which), n)
+        return self._rng.randrange(n)
 
     def arbitrate(
         self,
@@ -89,7 +102,7 @@ class PIMArbiter(Arbiter):
         grants: list[Grant] = []
         wasted_grants = 0
 
-        for _ in range(max_rounds):
+        for round_index in range(max_rounds):
             # Nominate: every still-unmatched row requests all of its
             # candidate outputs that are still unmatched.
             requests: dict[int, list[Nomination]] = {}
@@ -105,8 +118,11 @@ class PIMArbiter(Arbiter):
             # Grant: each output picks one requesting *input arbiter*
             # at random (network-first under the Rotary Rule), taking
             # that arbiter's oldest packet for this output.
+            # Outputs draw in ascending order so each row's offer list
+            # is ordered by output -- the accept draw below indexes it.
             offers: dict[int, list[tuple[int, Nomination]]] = {}
-            for out, candidates in requests.items():
+            for out in sorted(requests):
+                candidates = requests[out]
                 pool = candidates
                 if self._rotary:
                     starving = [c for c in candidates if c.starving]
@@ -120,7 +136,7 @@ class PIMArbiter(Arbiter):
                         if network:
                             pool = network
                 rows = sorted({nom.row for nom in pool})
-                row = rows[self._rng.randrange(len(rows))]
+                row = rows[self._draw("pim-grant", round_index, out, len(rows))]
                 chosen = max(
                     (nom for nom in pool if nom.row == row),
                     key=lambda nom: nom.age,
@@ -133,7 +149,9 @@ class PIMArbiter(Arbiter):
             progressed = False
             for row in sorted(offers):
                 wasted_grants += len(offers[row]) - 1
-                out, nom = offers[row][self._rng.randrange(len(offers[row]))]
+                out, nom = offers[row][
+                    self._draw("pim-accept", round_index, row, len(offers[row]))
+                ]
                 grants.append(Grant(row=row, packet=nom.packet, output=out))
                 matched_rows.add(row)
                 matched_packets.add(nom.packet)

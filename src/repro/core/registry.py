@@ -190,6 +190,15 @@ def nomination_style(name: str) -> str:
     return spec.nomination_style
 
 
-def _canonical(name: str) -> str:
+def canonical_name(name: str) -> str:
+    """Resolve the standalone study's short aliases to registry names.
+
+    ``"WFA"`` and ``"SPAA"`` mean the base variants; every other name
+    passes through unchanged (including unknown ones -- callers that
+    need existence checks look the result up in :data:`ALGORITHMS`).
+    """
     aliases = {"WFA": "WFA-base", "SPAA": "SPAA-base"}
     return aliases.get(name, name)
+
+
+_canonical = canonical_name

@@ -106,13 +106,21 @@ def _standalone_faults(args: argparse.Namespace):
 
 def _run_fig8(args: argparse.Namespace) -> str:
     return figure8.format_figure8(
-        figure8.run_figure8(trials=args.trials, faults=_standalone_faults(args))
+        figure8.run_figure8(
+            trials=args.trials,
+            faults=_standalone_faults(args),
+            backend=args.backend,
+        )
     )
 
 
 def _run_fig9(args: argparse.Namespace) -> str:
     return figure9.format_figure9(
-        figure9.run_figure9(trials=args.trials, faults=_standalone_faults(args))
+        figure9.run_figure9(
+            trials=args.trials,
+            faults=_standalone_faults(args),
+            backend=args.backend,
+        )
     )
 
 
@@ -203,6 +211,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1000,
         help="standalone-model trials per point for fig8/fig9 (default 1000)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("object", "vectorized"),
+        default="object",
+        help="fig8/fig9 evaluation backend: 'object' is the per-trial "
+             "reference path, 'vectorized' runs all trials as batched "
+             "numpy kernels with bit-identical results (requires the "
+             "kernels extra; see docs/kernels.md)",
     )
     parser.add_argument(
         "--output", type=Path, default=None, help="also write the report here"

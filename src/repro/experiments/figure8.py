@@ -13,11 +13,8 @@ from dataclasses import dataclass, replace
 
 from repro.core.registry import STANDALONE_ALGORITHMS
 from repro.experiments.report import ascii_plot, format_table
-from repro.sim.standalone import (
-    StandaloneConfig,
-    find_mcm_saturation_load,
-    measure_matches,
-)
+from repro.sim.standalone import StandaloneConfig, find_mcm_saturation_load
+from repro.sim.sweep import sweep_standalone
 
 #: Fractions of the MCM saturation load along the x-axis.
 DEFAULT_FRACTIONS = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
@@ -47,22 +44,30 @@ def run_figure8(
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
     algorithms: tuple[str, ...] = STANDALONE_ALGORITHMS,
     faults=None,
+    backend: str = "object",
 ) -> Figure8Result:
     """Regenerate the Figure 8 series.
 
     *faults* (a :class:`repro.resilience.FaultConfig`) stresses every
     measurement with matching-layer grant suppression -- the saturation
     load is still found on a clean MCM so the x-axis stays comparable.
+    *backend* selects the object oracle or the vectorized kernels for
+    every point (algorithms without a kernel, like MCM, fall back to
+    the object path with identical results).
     """
     base = StandaloneConfig(trials=trials, seed=seed)
-    saturation = find_mcm_saturation_load(base)
+    saturation = find_mcm_saturation_load(base, backend=backend)
     series: dict[str, tuple[float, ...]] = {}
     for algorithm in algorithms:
-        values = []
-        for fraction in fractions:
-            load = max(1, round(fraction * saturation))
-            config = replace(base, algorithm=algorithm, load=load)
-            values.append(measure_matches(config, faults=faults))
+        configs = [
+            replace(
+                base,
+                algorithm=algorithm,
+                load=max(1, round(fraction * saturation)),
+            )
+            for fraction in fractions
+        ]
+        values = sweep_standalone(configs, faults=faults, backend=backend)
         series[algorithm] = tuple(values)
     return Figure8Result(
         saturation_load=saturation, fractions=tuple(fractions), series=series

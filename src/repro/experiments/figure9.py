@@ -12,11 +12,8 @@ from dataclasses import dataclass, replace
 
 from repro.core.registry import STANDALONE_ALGORITHMS
 from repro.experiments.report import ascii_plot, format_table
-from repro.sim.standalone import (
-    StandaloneConfig,
-    find_mcm_saturation_load,
-    measure_matches,
-)
+from repro.sim.standalone import StandaloneConfig, find_mcm_saturation_load
+from repro.sim.sweep import sweep_standalone
 
 DEFAULT_OCCUPANCIES = (0.0, 0.25, 0.5, 0.75)
 
@@ -41,23 +38,27 @@ def run_figure9(
     occupancies: tuple[float, ...] = DEFAULT_OCCUPANCIES,
     algorithms: tuple[str, ...] = STANDALONE_ALGORITHMS,
     faults=None,
+    backend: str = "object",
 ) -> Figure9Result:
     """Regenerate the Figure 9 series.
 
     *faults* (a :class:`repro.resilience.FaultConfig`) stresses every
     measurement with matching-layer grant suppression; the saturation
-    load is still found on a clean MCM.
+    load is still found on a clean MCM.  *backend* selects the object
+    oracle or the vectorized kernels (non-kernel algorithms fall back
+    with identical results).
     """
     base = StandaloneConfig(trials=trials, seed=seed)
-    saturation = find_mcm_saturation_load(base)
+    saturation = find_mcm_saturation_load(base, backend=backend)
     series: dict[str, tuple[float, ...]] = {}
     for algorithm in algorithms:
-        values = []
-        for occupancy in occupancies:
-            config = replace(
+        configs = [
+            replace(
                 base, algorithm=algorithm, load=saturation, occupancy=occupancy
             )
-            values.append(measure_matches(config, faults=faults))
+            for occupancy in occupancies
+        ]
+        values = sweep_standalone(configs, faults=faults, backend=backend)
         series[algorithm] = tuple(values)
     return Figure9Result(
         saturation_load=saturation,

@@ -1,0 +1,65 @@
+"""Numpy-backed batched matching kernels (the ``vectorized`` backend).
+
+The standalone matching model (Figures 8 and 9) measures thousands of
+independent trials per point; the object path arbitrates them one
+Nomination object at a time.  This package evaluates *all* trials of a
+point as batched array operations -- uint bitmask free sets, ``(T, L)``
+packet arrays, ``(T, 16, 7)`` request tables -- and is bit-identical to
+the object path by construction: both draw from the keyed counter-based
+RNG stream of :mod:`repro.kernels.rng`, and the parity tests
+(tests/kernels/) diff per-trial grants and ``RunningStats`` exactly.
+
+Select it with ``backend="vectorized"`` on
+:class:`~repro.sim.standalone.StandaloneRouterModel` /
+:func:`~repro.sim.standalone.measure_matches`, or ``--backend
+vectorized`` on the CLI.  The object path remains the reference
+oracle -- see docs/kernels.md for the backend policy and the kernel
+coverage table.
+
+Everything importing numpy is kept out of this module's import path so
+the object backend works without the ``kernels`` extra installed.
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import canonical_name
+from repro.router.connection_matrix import DEFAULT_CONNECTION_MATRIX
+
+#: algorithms with a vectorized kernel (canonical names); everything
+#: else falls back to the object path.
+VECTORIZED_ALGORITHMS: tuple[str, ...] = (
+    "OPF",
+    "PIM1",
+    "SPAA-base",
+    "SPAA-rotary",
+    "WFA-base",
+    "WFA-rotary",
+)
+
+#: pip extra that provides numpy.
+INSTALL_HINT = "pip install 'repro[kernels]'"
+
+
+def numpy_available() -> bool:
+    """Whether the ``kernels`` extra (numpy) is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def supports(config) -> tuple[bool, str | None]:
+    """Can *config* (a ``StandaloneConfig``) run vectorized?
+
+    Returns ``(True, None)`` or ``(False, reason)``.  The kernels bake
+    in the default connection matrix (packet outputs are all-torus or
+    all-local, one nominating row per packet), so custom matrices and
+    un-vectorized algorithms fall back to the object path.
+    """
+    algorithm = canonical_name(config.algorithm)
+    if algorithm not in VECTORIZED_ALGORITHMS:
+        return False, f"no vectorized kernel for algorithm {config.algorithm!r}"
+    if config.matrix.cells != DEFAULT_CONNECTION_MATRIX.cells:
+        return False, "vectorized kernels require the default connection matrix"
+    return True, None

@@ -49,7 +49,7 @@ PERF_SCHEMA_VERSION = 1
 HISTORY_RELPATH = Path("results") / "perf" / "history.jsonl"
 
 #: the per-area record files the re-anchor process looks for.
-AREAS = ("arbiters", "figures", "sweeps", "chaos", "overhead")
+AREAS = ("arbiters", "figures", "sweeps", "chaos", "overhead", "kernels")
 
 #: bench module (file stem) -> area of its ``BENCH_<area>.json``.
 MODULE_AREAS = {
@@ -61,6 +61,7 @@ MODULE_AREAS = {
     "bench_ablation": "figures",
     "bench_parallel_sweep": "sweeps",
     "bench_chaos": "chaos",
+    "bench_kernels": "kernels",
     "bench_obs_overhead": "overhead",
     "bench_resilience_overhead": "overhead",
 }

@@ -21,15 +21,45 @@ The *load* is the number of packets resident in the router's input
 buffers; the **MCM saturation load** is the load beyond which MCM's
 match count stops improving (it plateaus just below seven, the output
 port count).
+
+Two backends compute the same measurement:
+
+* ``backend="object"`` (default) -- the reference oracle: per-trial
+  Python objects through the arbiter classes in :mod:`repro.core`.
+* ``backend="vectorized"`` -- :mod:`repro.kernels` evaluates all
+  trials as batched numpy array ops, bit-identical to the object path
+  (same per-trial grants, same :class:`RunningStats`); configurations
+  the kernels don't cover fall back to the object path with
+  :attr:`StandaloneRouterModel.fallback_reason` recording why.
+
+Both draw every random decision from the keyed counter-based stream of
+:mod:`repro.kernels.rng`: each draw is addressed by a ``(trial,
+domain, a, b)`` key instead of its position in a sequential stream, so
+the two backends agree draw for draw no matter in which order they
+evaluate them.  The key schedule used by each draw site below is the
+backend contract -- see docs/kernels.md -- and is pinned by the
+seed-stability tests.
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.core.registry import ArbiterContext, make_arbiter, nomination_style
 from repro.core.types import Nomination, SourceKind
+from repro.kernels.rng import (
+    D_BUSY,
+    D_FIRST_DIR,
+    D_LOCAL_COIN,
+    D_LOCAL_OUT,
+    D_NOM_CHOICE,
+    D_PORT,
+    D_SECOND_DIR,
+    D_TWO_COIN,
+    KeyedTrialRandom,
+    TrialStream,
+)
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.router.connection_matrix import DEFAULT_CONNECTION_MATRIX, ConnectionMatrix
 from repro.router.ports import (
@@ -41,6 +71,9 @@ from repro.router.ports import (
     row_of,
 )
 from repro.sim.metrics import RunningStats
+
+#: valid values of the ``backend`` switch.
+BACKENDS = ("object", "vectorized")
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,6 +142,18 @@ class StandaloneRouterModel:
     stall window) break individual grants *after* arbitration, so
     Figures 8/9 arbiters can be studied under adversarial grant loss
     just like the network model's routers.
+
+    ``backend="vectorized"`` routes the whole run through
+    :mod:`repro.kernels`.  Telemetry, invariant checking, custom
+    matrices and algorithms without a kernel fall back to the object
+    path (``fallback_reason`` says why; ``backend`` reflects the path
+    actually taken).  Faults and ``trial_hook`` are supported on both
+    backends with identical results.
+
+    ``trial_hook`` (``hook(trial, grants)``) observes each trial's
+    final grant list -- after fault injection, exactly what the
+    returned statistics count.  The parity gate uses it to diff the
+    backends grant for grant.
     """
 
     def __init__(
@@ -118,13 +163,18 @@ class StandaloneRouterModel:
         invariants=None,
         faults=None,
         heartbeat=None,
+        backend: str = "object",
+        trial_hook=None,
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.invariants = invariants
         #: optional liveness callable (see repro.resilience.supervisor),
         #: driven every few trials from inside :meth:`run`'s loop.
         self.heartbeat = heartbeat
+        self._trial_hook = trial_hook
         if faults is not None and not hasattr(faults, "filter_matching"):
             # A FaultConfig: build the injector here (lazy import keeps
             # repro.sim free of a hard dependency on the resilience
@@ -133,7 +183,8 @@ class StandaloneRouterModel:
 
             faults = FaultInjector(faults)
         self.faults = faults
-        self._rng = random.Random(config.seed)
+        self._stream = TrialStream(config.seed)
+        self._rng = KeyedTrialRandom(self._stream)
         self._arbiter = make_arbiter(
             config.algorithm,
             ArbiterContext(
@@ -148,9 +199,42 @@ class StandaloneRouterModel:
         style = nomination_style(config.algorithm)
         self._uses_packet_pool = style == "pool"
         self._single_output = style == "single-output"
+        #: why a requested vectorized run fell back to the object path
+        #: (None when no fallback happened).
+        self.fallback_reason: str | None = None
+        self.backend = self._resolve_backend(backend)
+
+    def _resolve_backend(self, backend: str) -> str:
+        if backend != "vectorized":
+            return backend
+        from repro import kernels
+
+        if not kernels.numpy_available():
+            raise ImportError(
+                "backend='vectorized' needs numpy; install the kernels "
+                f"extra ({kernels.INSTALL_HINT}) or use backend='object'"
+            )
+        ok, reason = kernels.supports(self.config)
+        if ok and self.telemetry.enabled:
+            ok, reason = False, "telemetry requires the object backend"
+        if ok and self.invariants is not None:
+            ok, reason = False, "invariant checking requires the object backend"
+        if not ok:
+            self.fallback_reason = reason
+            return "object"
+        return "vectorized"
 
     def run(self) -> RunningStats:
         """Average matches per arbitration over the configured trials."""
+        if self.backend == "vectorized":
+            from repro.kernels.batch import run_batched
+
+            return run_batched(
+                self.config,
+                faults=self.faults,
+                heartbeat=self.heartbeat,
+                trial_hook=self._trial_hook,
+            )
         tel = self.telemetry
         if tel.enabled:
             tel.open_run(self.config, model="standalone")
@@ -158,12 +242,14 @@ class StandaloneRouterModel:
         invariants = self.invariants
         faults = self.faults
         heartbeat = self.heartbeat
+        trial_hook = self._trial_hook
         for trial in range(self.config.trials):
             if heartbeat is not None and trial % 64 == 0:
                 heartbeat()  # wall-time throttled by the sender
-            packets = self._generate_packets()
-            free_outputs = self._generate_free_outputs()
-            nominations = self._build_nominations(packets, free_outputs)
+            self._rng.set_trial(trial)
+            packets = self._generate_packets(trial)
+            free_outputs = self._generate_free_outputs(trial)
+            nominations = self._build_nominations(packets, free_outputs, trial)
             grants = self._arbiter.arbitrate(nominations, free_outputs)
             if faults is not None:
                 # Injected after arbitration, checked after injection: a
@@ -173,6 +259,8 @@ class StandaloneRouterModel:
                 invariants.check_arbitration(
                     nominations, free_outputs, grants, trial
                 )
+            if trial_hook is not None:
+                trial_hook(trial, grants)
             stats.add(float(len(grants)))
         if tel.enabled:
             tel.finalize(trials=self.config.trials, mean_matches=stats.mean)
@@ -180,18 +268,32 @@ class StandaloneRouterModel:
 
     # -- workload generation ------------------------------------------------
 
-    def _generate_packets(self) -> list[StandalonePacket]:
-        rng = self._rng
+    def _generate_packets(self, trial: int = 0) -> list[StandalonePacket]:
+        stream = self._stream
+        config = self.config
         packets = []
-        for uid in range(self.config.load):
-            port = InputPort(rng.randrange(8))
-            if rng.random() < self.config.local_fraction:
-                outputs = (int(rng.choice(LOCAL_OUTPUTS)),)
+        for uid in range(config.load):
+            port = InputPort(stream.randbelow(trial, D_PORT, uid, 0, 8))
+            if stream.uniform(trial, D_LOCAL_COIN, uid) < config.local_fraction:
+                pick = stream.randbelow(
+                    trial, D_LOCAL_OUT, uid, 0, len(LOCAL_OUTPUTS)
+                )
+                outputs = (int(LOCAL_OUTPUTS[pick]),)
             else:
                 candidates = list(TORUS_OUTPUTS)
-                first = candidates.pop(rng.randrange(len(candidates)))
-                if rng.random() < self.config.two_direction_fraction:
-                    second = candidates[rng.randrange(len(candidates))]
+                first = candidates.pop(
+                    stream.randbelow(trial, D_FIRST_DIR, uid, 0, len(candidates))
+                )
+                two = (
+                    stream.uniform(trial, D_TWO_COIN, uid)
+                    < config.two_direction_fraction
+                )
+                if two:
+                    second = candidates[
+                        stream.randbelow(
+                            trial, D_SECOND_DIR, uid, 0, len(candidates)
+                        )
+                    ]
                     outputs = (int(first), int(second))
                 else:
                     outputs = (int(first),)
@@ -201,10 +303,24 @@ class StandaloneRouterModel:
         # Oldest first within a port: lower uid == arrived earlier.
         return packets
 
-    def _generate_free_outputs(self) -> frozenset[int]:
+    def _generate_free_outputs(self, trial: int = 0) -> frozenset[int]:
+        """Sample the busy outputs with a keyed partial Fisher-Yates.
+
+        Each step draws an index into the shrinking candidate pool and
+        swap-removes it; step ``j`` is keyed by ``(trial, D_BUSY, j)``,
+        so the vectorized backend runs the identical loop over whole
+        trial columns.
+        """
         busy_count = round(self.config.occupancy * NUM_OUTPUT_PORTS)
-        busy = self._rng.sample(range(NUM_OUTPUT_PORTS), busy_count)
-        return frozenset(set(range(NUM_OUTPUT_PORTS)) - set(busy))
+        stream = self._stream
+        pool = list(range(NUM_OUTPUT_PORTS))
+        free = set(pool)
+        for step in range(busy_count):
+            index = stream.randbelow(trial, D_BUSY, step, 0, len(pool))
+            free.discard(pool[index])
+            pool[index] = pool[-1]
+            pool.pop()
+        return frozenset(free)
 
     # -- nomination building --------------------------------------------------
 
@@ -212,11 +328,12 @@ class StandaloneRouterModel:
         self,
         packets: list[StandalonePacket],
         free_outputs: frozenset[int],
+        trial: int = 0,
     ) -> list[Nomination]:
         if self._uses_packet_pool:
             return self._pool_nominations(packets)
         if self._single_output:
-            return self._single_output_nominations(packets, free_outputs)
+            return self._single_output_nominations(packets, free_outputs, trial)
         return self._per_cell_nominations(packets)
 
     def _pool_nominations(self, packets: list[StandalonePacket]) -> list[Nomination]:
@@ -235,9 +352,20 @@ class StandaloneRouterModel:
     def _per_cell_nominations(
         self, packets: list[StandalonePacket]
     ) -> list[Nomination]:
-        """PIM/WFA: each read-port arbiter offers, per connected output,
-        the oldest packet of its port that can use that output."""
-        nominations: dict[tuple[int, int], Nomination] = {}
+        """PIM/WFA/iSLIP: every waiting packet, per connected read port.
+
+        One nomination per (packet, read port) with the packet's
+        connected candidate outputs.  The per-cell reduction -- the
+        *oldest* packet per (row, output) cell -- is the arbiter's job
+        (WFA's oldest-wins cell load, PIM's oldest-of-the-granted-row
+        pick), and multi-round PIM deliberately re-nominates younger
+        packets of a row once an older one is matched, so reducing here
+        would change full PIM.  An earlier version carried a dict keyed
+        by ``(row, packet.uid)`` that was meant to dedup per cell but
+        never could (its keys were unique per packet); the regression
+        test pins that all per-packet nominations are emitted.
+        """
+        nominations: list[Nomination] = []
         for packet in packets:
             port = packet.port
             for read_port in range(2):
@@ -249,10 +377,8 @@ class StandaloneRouterModel:
                 )
                 if not outputs:
                     continue
-                key = (row, packet.uid)
-                current = nominations.get(key)
-                if current is None:
-                    nominations[key] = Nomination(
+                nominations.append(
+                    Nomination(
                         row=row,
                         packet=packet.uid,
                         outputs=outputs,
@@ -261,12 +387,14 @@ class StandaloneRouterModel:
                         group=int(port),
                         group_capacity=2,
                     )
-        return list(nominations.values())
+                )
+        return nominations
 
     def _single_output_nominations(
         self,
         packets: list[StandalonePacket],
         free_outputs: frozenset[int],
+        trial: int = 0,
     ) -> list[Nomination]:
         """SPAA/OPF: one packet, one output, per *input port*.
 
@@ -276,8 +404,10 @@ class StandaloneRouterModel:
         and picks uniformly between two adaptive candidates with no
         cross-arbiter coordination; OPF (the Figure 2 straw man) aims
         the oldest packet at its first-choice output unconditionally.
+        The uniform pick is keyed by the nominated packet's uid.
         """
         check_free = self.config.algorithm != "OPF"
+        stream = self._stream
         nominated_ports: set[InputPort] = set()
         nominations: list[Nomination] = []
         for packet in packets:  # oldest first
@@ -294,7 +424,11 @@ class StandaloneRouterModel:
                 ]
                 if not outputs:
                     continue
-                choice = outputs[self._rng.randrange(len(outputs))]
+                choice = outputs[
+                    stream.randbelow(
+                        trial, D_NOM_CHOICE, packet.uid, 0, len(outputs)
+                    )
+                ]
                 nominations.append(
                     Nomination(
                         row=row,
@@ -315,35 +449,52 @@ class StandaloneRouterModel:
         return SourceKind.NETWORK if port.is_network else SourceKind.LOCAL
 
 
-def measure_matches(config: StandaloneConfig, faults=None) -> float:
+def measure_matches(
+    config: StandaloneConfig, faults=None, backend: str = "object"
+) -> float:
     """Mean matches per arbitration for one configuration.
 
     *faults* (a :class:`repro.resilience.FaultConfig`) injects
     matching-layer grant suppression into every trial; each call builds
     a fresh injector, so a given (config, faults) pair is deterministic.
+    *backend* selects the object oracle or the vectorized kernels --
+    the value is identical either way (see docs/kernels.md).
     """
-    return StandaloneRouterModel(config, faults=faults).run().mean
+    return StandaloneRouterModel(config, faults=faults, backend=backend).run().mean
 
 
 def find_mcm_saturation_load(
     base: StandaloneConfig | None = None,
     tolerance: float = 0.01,
     max_load: int = 512,
+    backend: str = "object",
 ) -> int:
     """The load where MCM's match count stops improving.
 
     Doubles the load until the incremental gain falls below
     *tolerance* (relative), then returns the smaller load -- the knee
     of the MCM curve that Figure 8 normalizes its x-axis by.
+
+    Hitting *max_load* means the plateau was never verified: the last
+    doubling still improved by more than the tolerance (or was never
+    tested).  That returns *max_load* so sweeps can proceed, but warns
+    -- a silently capped "saturation load" is not a saturation load.
     """
     base = base or StandaloneConfig()
     config = replace(base, algorithm="MCM")
     load = 4
-    current = measure_matches(replace(config, load=load))
+    current = measure_matches(replace(config, load=load), backend=backend)
     while load < max_load:
-        nxt = measure_matches(replace(config, load=load * 2))
+        nxt = measure_matches(replace(config, load=load * 2), backend=backend)
         if nxt - current < tolerance * max(current, 1e-9):
             return load
         load *= 2
         current = nxt
+    warnings.warn(
+        f"MCM saturation search hit max_load={max_load} without the "
+        f"match-count gain dropping below tolerance={tolerance}; "
+        "returning the cap, which is NOT a verified saturation load",
+        RuntimeWarning,
+        stacklevel=2,
+    )
     return max_load

@@ -458,6 +458,35 @@ def sweep_algorithms(
     }
 
 
+def sweep_standalone(
+    configs: Sequence,
+    faults=None,
+    backend: str = "object",
+    progress: Callable[[str], None] | None = None,
+) -> list[float]:
+    """Mean matches for a list of standalone-model configurations.
+
+    The standalone twin of :func:`sweep_algorithm`: the Figure 8/9
+    runners build one :class:`~repro.sim.standalone.StandaloneConfig`
+    per curve point and this evaluates them in order.  *backend*
+    selects the object oracle or the vectorized kernels for every
+    point; *faults* applies one matching-layer fault schedule to all
+    of them.
+    """
+    from repro.sim.standalone import measure_matches
+
+    means: list[float] = []
+    for config in configs:
+        mean = measure_matches(config, faults=faults, backend=backend)
+        means.append(mean)
+        if progress is not None:
+            progress(
+                f"{config.algorithm} load={config.load} "
+                f"occ={config.occupancy:.2g} -> {mean:.3f} matches"
+            )
+    return means
+
+
 def geometric_rates(low: float, high: float, count: int) -> list[float]:
     """Geometrically spaced offered loads (dense near saturation)."""
     if count < 2:

@@ -1,0 +1,82 @@
+"""Edge-of-range workload configurations, parity-checked on both backends.
+
+The boundary settings -- a single packet, occupancy rounding to
+all-but-one output busy, pure-local and pure-torus traffic, forced
+one- and two-direction routing -- exercise every branch of the workload
+generator; each is validated on the object path and diffed against the
+vectorized path grant for grant.
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.sim.standalone import StandaloneConfig  # noqa: E402
+from tests.kernels.test_parity import (  # noqa: E402
+    ALGORITHMS,
+    assert_parity,
+    run_backend,
+)
+
+
+class TestEdgeLoads:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_single_packet(self, algorithm):
+        assert_parity(StandaloneConfig(
+            algorithm=algorithm, load=1, trials=50, seed=6
+        ))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_but_one_output_busy(self, algorithm):
+        # occupancy 0.9 rounds to 6 of 7 outputs busy: at most one match.
+        config = StandaloneConfig(
+            algorithm=algorithm, load=16, occupancy=0.9, trials=50, seed=6
+        )
+        assert_parity(config)
+        _, stats, _ = run_backend(config, "vectorized")
+        assert stats[4] <= 1.0  # maximum
+
+    def test_single_packet_single_output(self):
+        # load=1, 6 outputs busy: the minimal nonempty problem.
+        assert_parity(StandaloneConfig(
+            algorithm="WFA", load=1, occupancy=0.9, trials=80, seed=1
+        ))
+
+
+class TestEdgeFractions:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("local_fraction", [0.0, 1.0])
+    def test_pure_traffic_mixes(self, algorithm, local_fraction):
+        assert_parity(StandaloneConfig(
+            algorithm=algorithm, load=20, trials=40, seed=9,
+            local_fraction=local_fraction,
+        ))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("two_direction_fraction", [0.0, 1.0])
+    def test_forced_direction_counts(self, algorithm, two_direction_fraction):
+        assert_parity(StandaloneConfig(
+            algorithm=algorithm, load=20, trials=40, seed=9,
+            local_fraction=0.0,
+            two_direction_fraction=two_direction_fraction,
+        ))
+
+    def test_pure_local_caps_at_three_outputs(self):
+        # All-local traffic can use only L0/L1/IO: at most 3 matches.
+        config = StandaloneConfig(
+            algorithm="WFA", load=40, trials=60, seed=2, local_fraction=1.0
+        )
+        assert_parity(config)
+        _, stats, _ = run_backend(config, "vectorized")
+        assert stats[4] <= 3.0  # maximum
+
+    def test_blocked_cells_respected_under_pure_local(self):
+        """Rows 11/13 must never grant their blocked local outputs."""
+        config = StandaloneConfig(
+            algorithm="WFA", load=40, trials=60, seed=2, local_fraction=1.0
+        )
+        grants, _, model = run_backend(config, "vectorized")
+        assert model.backend == "vectorized"
+        for trial_grants in grants.values():
+            for row, _, out in trial_grants:
+                assert (row, out) not in ((11, 4), (13, 5))

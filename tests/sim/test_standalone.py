@@ -1,12 +1,15 @@
 """Tests for the standalone matching model (Figures 8 and 9 substrate)."""
 
+import warnings
 from dataclasses import replace
 
 import pytest
 
 from repro.core.types import validate_matching
+from repro.router.ports import InputPort
 from repro.sim.standalone import (
     StandaloneConfig,
+    StandalonePacket,
     StandaloneRouterModel,
     find_mcm_saturation_load,
     measure_matches,
@@ -84,6 +87,27 @@ class TestModelMechanics:
         nominations = model._build_nominations(packets, frozenset(range(7)))
         assert any(len(nom.outputs) == 2 for nom in nominations)
 
+    def test_per_cell_keeps_every_packet_of_a_row(self):
+        """Regression: two same-row packets both reach the arbiter.
+
+        An earlier version routed the nominations through a dict keyed
+        by ``(row, packet.uid)`` that was meant to dedup per cell but
+        never could (every key was unique), so the dict was dead code.
+        The per-cell reduction belongs to the arbiter -- multi-round
+        PIM needs the younger packet once the older one is matched --
+        so all per-packet nominations must survive.
+        """
+        config = StandaloneConfig(algorithm="PIM", trials=1)
+        model = StandaloneRouterModel(config)
+        packets = [
+            StandalonePacket(uid=0, port=InputPort.NORTH, outputs=(0,), age=0),
+            StandalonePacket(uid=1, port=InputPort.NORTH, outputs=(0,), age=1),
+        ]
+        nominations = model._per_cell_nominations(packets)
+        assert len(nominations) == 2
+        assert {nom.packet for nom in nominations} == {0, 1}
+        assert all(nom.row == 0 for nom in nominations)
+
 
 class TestSaturationSearch:
     def test_finds_a_plateau(self):
@@ -93,9 +117,81 @@ class TestSaturationSearch:
         beyond = measure_matches(replace(base, algorithm="MCM", load=load * 2))
         assert beyond - at < 0.05 * at
 
-    def test_respects_max_load(self):
+    def test_warns_when_capped_unconverged(self):
+        """Hitting max_load without a verified plateau must not be silent."""
         base = StandaloneConfig(trials=50)
-        assert find_mcm_saturation_load(base, tolerance=1e-9, max_load=16) == 16
+        with pytest.warns(RuntimeWarning, match="max_load"):
+            load = find_mcm_saturation_load(base, tolerance=1e-9, max_load=16)
+        assert load == 16
+
+    def test_converged_search_does_not_warn(self):
+        base = StandaloneConfig(trials=100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            load = find_mcm_saturation_load(base, tolerance=0.05)
+        assert load < 512
+
+
+class TestSeedStability:
+    """The keyed RNG stream's draw contract, pinned grant by grant.
+
+    Every random decision in the standalone model is addressed by a
+    ``(trial, domain, a, b)`` key (see docs/kernels.md for the audit of
+    all draw sites); these literals pin the resulting grant sequences
+    so any change to the key schedule -- a reordered draw, a new domain
+    id, a different packing -- fails loudly instead of silently
+    shifting every published number.
+    """
+
+    PINNED = {
+        "MCM": (
+            ((0, 0, 1), (1, 1, 0), (2, 2, 2), (4, 4, 4)),
+            ((0, 0, 4), (1, 1, 6), (3, 3, 0), (4, 4, 2)),
+        ),
+        "WFA": (
+            ((2, 1, 0), (3, 4, 4), (10, 2, 1)),
+            ((13, 0, 4), (6, 3, 2), (3, 1, 6), (10, 4, 1)),
+        ),
+        "WFA-rotary": (
+            ((2, 1, 0), (3, 4, 4), (10, 2, 1)),
+            ((13, 0, 4), (6, 3, 0), (3, 1, 6), (10, 4, 1)),
+        ),
+        "PIM": (
+            ((2, 1, 1), (3, 4, 4), (10, 2, 2), (6, 3, 0)),
+            ((3, 1, 6), (6, 3, 0), (10, 4, 1), (13, 0, 4)),
+        ),
+        "PIM1": (
+            ((2, 1, 1), (3, 4, 4), (10, 2, 2)),
+            ((3, 1, 6), (6, 3, 0), (10, 4, 1), (13, 0, 4)),
+        ),
+        "SPAA": (
+            ((6, 3, 0), (2, 1, 1)),
+            ((6, 3, 0), (10, 4, 2), (13, 0, 4), (3, 1, 6)),
+        ),
+        "SPAA-rotary": (
+            ((6, 3, 0), (2, 1, 1)),
+            ((6, 3, 0), (10, 4, 2), (13, 0, 4), (3, 1, 6)),
+        ),
+        "OPF": (
+            ((2, 1, 1), (6, 3, 0)),
+            ((3, 1, 6), (6, 3, 0), (10, 4, 2), (13, 0, 4)),
+        ),
+    }
+
+    @pytest.mark.parametrize("algorithm", sorted(PINNED))
+    def test_grant_sequences_are_pinned(self, algorithm):
+        observed: dict[int, tuple] = {}
+        config = StandaloneConfig(algorithm=algorithm, load=5, trials=2,
+                                  seed=123)
+        StandaloneRouterModel(
+            config,
+            trial_hook=lambda trial, grants: observed.__setitem__(
+                trial,
+                tuple((g.row, g.packet, g.output) for g in grants),
+            ),
+        ).run()
+        expected = self.PINNED[algorithm]
+        assert tuple(observed[t] for t in sorted(observed)) == expected
 
 
 class TestPaperShape:
