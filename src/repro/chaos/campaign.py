@@ -50,6 +50,16 @@ CAMPAIGN_SCHEMA = 1
 MANIFEST_NAME = "campaign_manifest.json"
 JOURNAL_NAME = "campaign.journal.jsonl"
 
+#: Static outcome details for supervised/fleet infrastructure failures.
+#: Deliberately wall-clock-free and shared between the single-host
+#: supervisor path and the fleet path: the campaign manifest must stay
+#: byte-identical across runs, hosts and backends.
+TIMEOUT_DETAIL = (
+    "reaped by supervisor: wall-clock deadline or "
+    "heartbeat staleness exceeded"
+)
+CRASH_DETAIL = "worker lost under supervision"
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -72,6 +82,12 @@ class CampaignConfig:
     #: reaping); a reaped scenario becomes a terminal "timeout"/"crash"
     #: outcome -- chaos outcomes are data, so nothing is retried.
     supervisor: SupervisorConfig | None = None
+    #: a live :class:`repro.service.ServiceServer`; scenarios are
+    #: leased to its remote workers.  Unlike the single-host supervised
+    #: path, *infrastructure* crashes (a killed or wedged fleet worker)
+    #: are retried up to quarantine, so a chaotic fleet converges on
+    #: the same manifest a healthy single-host run produces.
+    fleet: object | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -206,16 +222,88 @@ def _run_supervised(
                 outcome = ScenarioOutcome(
                     scenario_id=scenario.scenario_id,
                     status="timeout",
-                    detail=(
-                        "reaped by supervisor: wall-clock deadline or "
-                        "heartbeat staleness exceeded"
-                    ),
+                    detail=TIMEOUT_DETAIL,
                 )
             else:  # worker-lost
                 outcome = ScenarioOutcome(
                     scenario_id=scenario.scenario_id,
                     status="crash",
-                    detail="worker lost under supervision",
+                    detail=CRASH_DETAIL,
+                )
+            journal.record_outcome(
+                scenario.scenario_id, float(scenario.index), outcome.as_dict()
+            )
+            outcomes[scenario.index] = outcome
+            if progress is not None:
+                progress(
+                    f"[{len(outcomes)}/{config.count_total()}] "
+                    f"{scenario.scenario_id} ({scenario.kind}, "
+                    f"{scenario.algorithm}) -> {outcome.status}"
+                )
+
+
+def _run_fleet(
+    config: CampaignConfig,
+    todo: list[ChaosScenario],
+    journal: SweepJournal,
+    outcomes: dict[int, ScenarioOutcome],
+    progress: Callable[[str], None] | None,
+) -> None:
+    """Lease scenarios to the connected remote fleet.
+
+    Infrastructure failures are *retried* here (``resubmit_crashed``):
+    losing a fleet worker mid-scenario is coordinator weather, not
+    scenario data, so the re-run's deterministic outcome lands instead
+    and the manifest matches a healthy single-host run byte for byte.
+    Only a scenario that crashes workers all the way to quarantine
+    becomes a terminal ``timeout``/``crash`` outcome -- with the same
+    static detail strings the single-host supervised path writes.
+    """
+    from repro.service.coordinator import FleetCoordinator
+
+    by_index = {scenario.index: scenario for scenario in todo}
+    #: last infrastructure failure kind per scenario, so quarantine
+    #: can classify the terminal outcome (wedge -> timeout, death ->
+    #: crash) like the single-host path does.
+    last_kind: dict[int, str] = {}
+    coordinator = FleetCoordinator(
+        config.fleet,
+        config=config.supervisor or SupervisorConfig(),
+        resubmit_crashed=True,
+        task_kind="chaos-scenario",
+    )
+    with coordinator:
+        for scenario in todo:
+            coordinator.submit(
+                scenario.index, (scenario, _trace_path(config, scenario))
+            )
+        while coordinator.outstanding:
+            event = coordinator.next_event()
+            scenario = by_index[event.task_id]
+            if event.kind in ("worker-lost", "timeout"):
+                # Intermediate: the coordinator re-leases (or follows
+                # up with "quarantined").  Nothing is journalled -- the
+                # journal records scenario outcomes, not weather.
+                last_kind[scenario.index] = event.kind
+                if progress is not None:
+                    progress(
+                        f"{scenario.scenario_id} {event.kind} "
+                        f"(crash {event.crashes}); re-leasing"
+                    )
+                continue
+            if event.kind == "result":
+                outcome = event.result
+            elif last_kind.get(scenario.index) == "timeout":
+                outcome = ScenarioOutcome(
+                    scenario_id=scenario.scenario_id,
+                    status="timeout",
+                    detail=TIMEOUT_DETAIL,
+                )
+            else:  # quarantined after repeated worker deaths
+                outcome = ScenarioOutcome(
+                    scenario_id=scenario.scenario_id,
+                    status="crash",
+                    detail=CRASH_DETAIL,
                 )
             journal.record_outcome(
                 scenario.scenario_id, float(scenario.index), outcome.as_dict()
@@ -304,12 +392,19 @@ def run_campaign(
         todo.append(scenario)
     if progress is not None and resumed:
         progress(f"resumed {resumed} scenario(s) from the journal")
-    if config.supervisor is not None and todo:
-        _run_supervised(config, todo, journal, outcomes, progress)
-    elif config.workers > 1 and len(todo) > 1:
-        _run_pool(config, todo, journal, outcomes, progress)
-    else:
-        _run_serial(config, todo, journal, outcomes, progress)
+    # The lock marks this process as the campaign journal's single
+    # writer (the coordinator under a fleet, the parent otherwise);
+    # a SIGKILLed run leaves a stale lock that a same-host restart
+    # takes over after the dead-pid check.
+    with journal.lock():
+        if config.fleet is not None and todo:
+            _run_fleet(config, todo, journal, outcomes, progress)
+        elif config.supervisor is not None and todo:
+            _run_supervised(config, todo, journal, outcomes, progress)
+        elif config.workers > 1 and len(todo) > 1:
+            _run_pool(config, todo, journal, outcomes, progress)
+        else:
+            _run_serial(config, todo, journal, outcomes, progress)
 
     failures: list[tuple[ChaosScenario, ScenarioOutcome, Path]] = []
     campaign_info = {

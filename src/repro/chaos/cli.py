@@ -263,7 +263,23 @@ def build_parser() -> argparse.ArgumentParser:
         "output_dir", help="campaign directory holding campaign_manifest.json"
     )
     report_p.set_defaults(func=_cmd_report)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run a campaign over a remote worker fleet "
+             "(forwards to 'repro-experiments serve chaos'; "
+             "see docs/service.md)",
+        add_help=False,
+    )
+    serve_p.add_argument("rest", nargs=argparse.REMAINDER)
+    serve_p.set_defaults(func=_cmd_serve)
     return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.cli import main as service_main
+
+    return service_main(["serve", "chaos", *args.rest])
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -8,12 +8,16 @@ Usage::
     repro-experiments all --preset fast
     repro-experiments obs summarize results/traces/**/*.jsonl
     repro-experiments chaos run --seed 7 --count 20 --output-dir chaos-out
+    repro-experiments serve chaos --output-dir out --port 7421
+    repro-experiments work --connect cohost:7421
 
 The ``obs`` subcommand delegates to :mod:`repro.obs.cli` (also
 installed as ``repro-obs``) for inspecting the JSONL telemetry traces
 that ``--telemetry-dir`` produces; ``chaos`` delegates to
 :mod:`repro.chaos.cli` for randomized fault campaigns with
-deterministic replay bundles (see docs/chaos.md).
+deterministic replay bundles (see docs/chaos.md); ``serve`` / ``work``
+/ ``submit`` / ``status`` delegate to :mod:`repro.service.cli`, the
+distributed sweep/chaos service (see docs/service.md).
 """
 
 from __future__ import annotations
@@ -340,6 +344,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.chaos.cli import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] in ("serve", "work", "submit", "status"):
+        # The distributed sweep/chaos service (docs/service.md); the
+        # verb itself is the service CLI's subcommand, so pass it on.
+        from repro.service.cli import main as service_main
+
+        return service_main(argv)
     args = build_parser().parse_args(argv)
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")

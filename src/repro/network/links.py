@@ -99,11 +99,19 @@ class LinkRetrySpec:
         backoff_base_cycles: pause before the first retransmission, in
             core cycles.
         backoff_factor: multiplier applied per successive retry.
+        jitter: fractional randomization of each backoff -- the actual
+            wait is the nominal one scaled by a uniform factor in
+            ``[1 - jitter, 1 + jitter]``, drawn from the fault
+            injector's dedicated (seeded) backoff stream.  Without it,
+            every packet faulted in the same burst would retransmit in
+            lockstep and re-collide -- the classic retry storm.  0
+            restores the deterministic legacy series.
     """
 
     max_retries: int = 8
     backoff_base_cycles: float = 4.0
     backoff_factor: float = 2.0
+    jitter: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -112,9 +120,16 @@ class LinkRetrySpec:
             raise ValueError("backoff_base_cycles cannot be negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1 (no shrinking waits)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
 
     def backoff_cycles(self, attempt: int) -> float:
-        """Core cycles to wait before retransmission *attempt* (0-based)."""
+        """Nominal core cycles before retransmission *attempt* (0-based).
+
+        This is the un-jittered policy value; the fault injector's
+        :meth:`~repro.resilience.faults.FaultInjector.retry_backoff_cycles`
+        applies the seeded jitter on top.
+        """
         return self.backoff_base_cycles * self.backoff_factor**attempt
 
 

@@ -144,6 +144,27 @@ class TraceSummary:
                 "point-timeout",
             ),
             ("quarantined", "resilience_quarantined_total", "quarantined"),
+            ("service_leases", "service_leases_total", "lease-granted"),
+            (
+                "service_lease_expiries",
+                "service_lease_expiries_total",
+                "lease-expired",
+            ),
+            (
+                "service_reassignments",
+                "service_reassignments_total",
+                None,
+            ),
+            (
+                "service_worker_connects",
+                "service_worker_connects_total",
+                "worker-connect",
+            ),
+            (
+                "service_duplicate_results",
+                "service_duplicate_results_total",
+                "duplicate-result",
+            ),
         ):
             value = self.scalar(metric)
             if not value and event_kind is not None:

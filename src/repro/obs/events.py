@@ -321,6 +321,74 @@ class QuarantineEvent:
         return record
 
 
+@dataclass(frozen=True, slots=True)
+class LeaseGrantedEvent:
+    """The fleet coordinator leased a task to a remote worker.
+
+    Service events carry wall-clock seconds since the coordinator
+    started, the task's string form, the worker's name, and the
+    table-unique lease dispatch id (``reassigned`` marks re-grants
+    after a crash or expiry).
+    """
+
+    kind: ClassVar[str] = "lease-granted"
+    time: float
+    task: str
+    worker: str
+    dispatch: int
+    reassigned: bool
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class LeaseExpiredEvent:
+    """A lease blew its deadline or heartbeat bound; the worker is kicked."""
+
+    kind: ClassVar[str] = "lease-expired"
+    time: float
+    task: str
+    worker: str
+    detail: str
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerConnectEvent:
+    """A remote fleet worker joined (or rejoined) the coordinator."""
+
+    kind: ClassVar[str] = "worker-connect"
+    time: float
+    worker: str
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
+@dataclass(frozen=True, slots=True)
+class DuplicateResultEvent:
+    """A stale delivery (expired/re-granted lease) was discarded."""
+
+    kind: ClassVar[str] = "duplicate-result"
+    time: float
+    task: str
+    worker: str
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record["kind"] = self.kind
+        return record
+
+
 EVENT_TYPES = (
     InjectionEvent,
     NominationEvent,
@@ -338,6 +406,10 @@ EVENT_TYPES = (
     WorkerLostEvent,
     PointTimeoutEvent,
     QuarantineEvent,
+    LeaseGrantedEvent,
+    LeaseExpiredEvent,
+    WorkerConnectEvent,
+    DuplicateResultEvent,
 )
 
 #: kind string -> event class, for readers that want typed access.

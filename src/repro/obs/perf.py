@@ -49,7 +49,15 @@ PERF_SCHEMA_VERSION = 1
 HISTORY_RELPATH = Path("results") / "perf" / "history.jsonl"
 
 #: the per-area record files the re-anchor process looks for.
-AREAS = ("arbiters", "figures", "sweeps", "chaos", "overhead", "kernels")
+AREAS = (
+    "arbiters",
+    "figures",
+    "sweeps",
+    "chaos",
+    "overhead",
+    "kernels",
+    "service",
+)
 
 #: bench module (file stem) -> area of its ``BENCH_<area>.json``.
 MODULE_AREAS = {
@@ -64,6 +72,7 @@ MODULE_AREAS = {
     "bench_kernels": "kernels",
     "bench_obs_overhead": "overhead",
     "bench_resilience_overhead": "overhead",
+    "bench_service": "service",
 }
 
 #: default gate tolerance: a metric may drift this relative fraction

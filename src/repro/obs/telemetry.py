@@ -30,10 +30,13 @@ from repro.obs.events import (
     ConflictEvent,
     DeliveryEvent,
     DrainWarningEvent,
+    DuplicateResultEvent,
     GrantEvent,
     GrantFaultEvent,
     InjectionEvent,
     InvariantViolationEvent,
+    LeaseExpiredEvent,
+    LeaseGrantedEvent,
     LinkFaultEvent,
     NominationEvent,
     PacketDropEvent,
@@ -42,6 +45,7 @@ from repro.obs.events import (
     StarvationEvent,
     WatchdogEvent,
     WatchdogRemediationEvent,
+    WorkerConnectEvent,
     WorkerLostEvent,
 )
 from repro.obs.manifest import RunManifest
@@ -171,6 +175,26 @@ class Telemetry:
         self._quarantined = registry.counter(
             "resilience_quarantined_total",
             "poison tasks abandoned after repeated supervised crashes",
+        )
+        self._service_leases = registry.counter(
+            "service_leases_total",
+            "fleet tasks leased to remote workers (see repro.service)",
+        )
+        self._service_lease_expiries = registry.counter(
+            "service_lease_expiries_total",
+            "fleet leases that blew their deadline or heartbeat bound",
+        )
+        self._service_reassignments = registry.counter(
+            "service_reassignments_total",
+            "fleet tasks re-leased after a crash, kick or disconnect",
+        )
+        self._service_worker_connects = registry.counter(
+            "service_worker_connects_total",
+            "remote fleet workers that joined (or rejoined)",
+        )
+        self._service_duplicate_results = registry.counter(
+            "service_duplicate_results_total",
+            "stale fleet deliveries discarded by the exactly-once check",
         )
         #: bound-series caches so hot sites never re-resolve labels.
         self._algo_series: dict[str, tuple[MetricSeries, ...]] = {}
@@ -404,6 +428,44 @@ class Telemetry:
                 QuarantineEvent(now, task, crashes, detail).to_record()
             )
 
+    # -- service hooks (now = seconds since the coordinator started) ------
+
+    def on_lease_granted(
+        self, now: float, task: str, worker: str, dispatch: int, reassigned: bool
+    ) -> None:
+        """The fleet coordinator leased *task* to *worker*."""
+        self._service_leases.inc()
+        if reassigned:
+            self._service_reassignments.inc()
+        if self.events:
+            self.sink.emit(
+                LeaseGrantedEvent(
+                    now, task, worker, dispatch, reassigned
+                ).to_record()
+            )
+
+    def on_lease_expired(
+        self, now: float, task: str, worker: str, detail: str
+    ) -> None:
+        """A fleet lease blew its deadline or heartbeat bound."""
+        self._service_lease_expiries.inc()
+        if self.events:
+            self.sink.emit(
+                LeaseExpiredEvent(now, task, worker, detail).to_record()
+            )
+
+    def on_worker_connect(self, now: float, worker: str) -> None:
+        """A remote fleet worker joined (or rejoined)."""
+        self._service_worker_connects.inc()
+        if self.events:
+            self.sink.emit(WorkerConnectEvent(now, worker).to_record())
+
+    def on_duplicate_result(self, now: float, task: str, worker: str) -> None:
+        """A stale fleet delivery was discarded, never journalled."""
+        self._service_duplicate_results.inc()
+        if self.events:
+            self.sink.emit(DuplicateResultEvent(now, task, worker).to_record())
+
     # -- summaries --------------------------------------------------------
 
     def arbitration_summary(self) -> dict[str, dict[str, int]]:
@@ -510,6 +572,18 @@ class _NullTelemetry:
         pass
 
     def on_quarantine(self, *args: Any) -> None:
+        pass
+
+    def on_lease_granted(self, *args: Any) -> None:
+        pass
+
+    def on_lease_expired(self, *args: Any) -> None:
+        pass
+
+    def on_worker_connect(self, *args: Any) -> None:
+        pass
+
+    def on_duplicate_result(self, *args: Any) -> None:
         pass
 
     def arbitration_summary(self) -> dict:

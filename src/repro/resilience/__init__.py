@@ -27,7 +27,14 @@ package makes the reproduction hard to break and loud when it does:
   hanging or aborting.
 """
 
-from repro.resilience.checkpoint import SweepJournal, rate_key
+from repro.resilience.backoff import jittered_backoff
+from repro.resilience.checkpoint import (
+    JournalLock,
+    JournalLockError,
+    SweepJournal,
+    rate_key,
+)
+from repro.resilience.leases import Lease, LeaseTable
 from repro.resilience.supervisor import (
     PointSupervisor,
     SupervisorConfig,
@@ -57,6 +64,10 @@ from repro.resilience.watchdog import (
 
 __all__ = [
     "ArbitrationInvariants",
+    "JournalLock",
+    "JournalLockError",
+    "Lease",
+    "LeaseTable",
     "DeadlockError",
     "FaultConfig",
     "FaultInjector",
@@ -73,6 +84,7 @@ __all__ = [
     "SupervisorEvent",
     "SweepJournal",
     "WatchdogConfig",
+    "jittered_backoff",
     "parse_fault_spec",
     "permanent_stall",
     "rate_key",

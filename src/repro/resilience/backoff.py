@@ -1,0 +1,57 @@
+"""Jittered exponential backoff, shared by every retry loop we own.
+
+Exponential backoff without jitter synchronizes: when one event (a
+burst of link faults, a coordinator restart) knocks over many retriers
+at once, they all wait the *same* doubling series and retry in
+lockstep -- a retry storm that re-collides forever.  The classic fix
+is "full-spectrum" randomization of each delay; we use the bounded
+variant (delay scaled by a uniform factor in ``[1 - jitter, 1 + jitter]``)
+so the backoff stays recognizably exponential in traces and tests.
+
+Determinism: the jitter draw always comes from a *caller-provided*
+seeded :class:`random.Random`.  There is deliberately no module-level
+RNG -- the simulator's retransmission jitter must replay exactly under
+one fault seed, and a fleet worker's reconnect jitter must differ per
+worker, so the stream owner is always the caller.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["jittered_backoff"]
+
+
+def jittered_backoff(
+    base: float,
+    factor: float,
+    attempt: int,
+    rng: random.Random | None = None,
+    jitter: float = 0.0,
+    max_delay: float | None = None,
+) -> float:
+    """Delay before retry *attempt* (0-based): jittered exponential.
+
+    The nominal delay is ``base * factor**attempt``, capped at
+    *max_delay* (the cap applies before jitter, so the jittered delay
+    can exceed the cap by at most the jitter fraction -- capping after
+    would make every long backoff identical again, which is the storm
+    we are avoiding).  With ``jitter > 0`` the delay is scaled by a
+    uniform factor in ``[1 - jitter, 1 + jitter]`` drawn from *rng*;
+    ``jitter == 0`` (or no *rng*) reproduces the legacy deterministic
+    series exactly.
+    """
+    if base < 0:
+        raise ValueError("base cannot be negative")
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1 (no shrinking waits)")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError("jitter must be in [0, 1)")
+    if attempt < 0:
+        raise ValueError("attempt cannot be negative")
+    delay = base * factor**attempt
+    if max_delay is not None:
+        delay = min(delay, max_delay)
+    if jitter and rng is not None:
+        delay *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+    return delay

@@ -23,11 +23,138 @@ from __future__ import annotations
 import json
 import logging
 import os
+import socket
+import time
 from pathlib import Path
 
 from repro.sim.metrics import BNFPoint
 
 logger = logging.getLogger(__name__)
+
+
+class JournalLockError(RuntimeError):
+    """Another live writer holds (or appears to hold) the journal lock."""
+
+
+class JournalLock:
+    """Advisory single-writer lock guarding one :class:`SweepJournal`.
+
+    The journal's append path is line-atomic against *crashes*, not
+    against a second writer: two parents (say, two coordinators
+    started on the same campaign directory) appending concurrently
+    would interleave records and each would hold a stale latest-wins
+    cache.  The lock is a sidecar ``<journal>.lock`` file created with
+    ``O_CREAT | O_EXCL`` (atomic on every platform we care about)
+    holding JSON ``{"pid", "host", "acquired_at"}``.
+
+    Stale-lock takeover: a SIGKILLed writer leaves its lock behind,
+    and requiring manual cleanup would break the crash/--resume story.
+    If the recorded host is *this* host and the pid is no longer
+    alive, the lock is stale -- it is taken over with a logged
+    warning.  A lock from a *different* host cannot be liveness-checked
+    from here, so it always raises (delete the file manually if the
+    other coordinator is known dead).  An unparseable lock file is
+    treated as stale debris.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._held = False
+
+    def acquire(self) -> "JournalLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "acquired_at": time.time(),
+        })
+        for _ in range(2):  # second try follows a stale-lock removal
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                self._clear_if_stale()
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            self._held = True
+            return self
+        raise JournalLockError(
+            f"{self.path}: could not acquire the journal lock "
+            f"(still contended after a stale check)"
+        )
+
+    def _clear_if_stale(self) -> None:
+        """Remove a dead holder's lock file, or raise if it looks live."""
+        try:
+            holder = json.loads(self.path.read_text(encoding="utf-8"))
+            pid = int(holder["pid"])
+            host = str(holder["host"])
+        except FileNotFoundError:
+            return  # released between our O_EXCL failure and this read
+        except (ValueError, KeyError, TypeError, OSError):
+            logger.warning(
+                "%s: unreadable journal lock file; treating as stale "
+                "and taking over",
+                self.path,
+            )
+            self._remove_quietly()
+            return
+        if host != socket.gethostname():
+            raise JournalLockError(
+                f"{self.path}: journal locked by pid {pid} on host "
+                f"{host!r} (not this host, so liveness cannot be "
+                f"checked); remove the lock file if that writer is dead"
+            )
+        if _pid_alive(pid):
+            raise JournalLockError(
+                f"{self.path}: journal locked by live pid {pid} on this "
+                f"host; two writers must never share one journal"
+            )
+        logger.warning(
+            "%s: taking over stale journal lock left by dead pid %d",
+            self.path,
+            pid,
+        )
+        self._remove_quietly()
+
+    def _remove_quietly(self) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        self._remove_quietly()
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def __enter__(self) -> "JournalLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when *pid* exists on this host (signal-0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
 
 
 def rate_key(rate: float) -> str:
@@ -74,6 +201,15 @@ class SweepJournal:
         #: the final line parsed but lacked its newline (the crash hit
         #: between the two writes); the next append completes it first.
         self._needs_newline = False
+
+    def lock(self) -> JournalLock:
+        """This journal's single-writer lock (``<path>.lock`` sidecar).
+
+        Writers that may run concurrently with other parents -- the
+        parallel sweep runner, the chaos campaign, the fleet
+        coordinator -- acquire it around their whole write phase.
+        """
+        return JournalLock(self.path.with_name(self.path.name + ".lock"))
 
     # -- reading ---------------------------------------------------------
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field, replace
 from repro.core.types import Grant
 from repro.network.links import LinkRetrySpec
 from repro.network.packets import Packet
+from repro.resilience.backoff import jittered_backoff
 
 #: drop reason recorded when a packet exhausts its link retries.
 REASON_LINK_RETRIES_EXHAUSTED = "link-retries-exhausted"
@@ -136,6 +137,11 @@ class FaultInjector:
     def __init__(self, config: FaultConfig) -> None:
         self.config = config
         self._rng = random.Random(config.seed)
+        #: dedicated stream for retransmission-backoff jitter.  Kept
+        #: separate from the fault-schedule RNG so enabling (or
+        #: retuning) jitter never shifts which flits fault -- the
+        #: Bernoulli draws above stay on their own seeded sequence.
+        self._backoff_rng = random.Random(config.seed ^ 0x6A177E12)
         self.counts: dict[str, int] = {
             "flit-drop": 0,
             "flit-corrupt": 0,
@@ -155,6 +161,24 @@ class FaultInjector:
     @property
     def retry(self) -> LinkRetrySpec:
         return self.config.retry
+
+    def retry_backoff_cycles(self, attempt: int) -> float:
+        """Jittered core cycles before retransmission *attempt* (0-based).
+
+        Scales :meth:`LinkRetrySpec.backoff_cycles` by a seeded uniform
+        factor in ``[1 - jitter, 1 + jitter]`` so simultaneous faulted
+        packets de-synchronize instead of retrying in lockstep.  The
+        draw comes from the injector's dedicated backoff stream, so a
+        given fault seed replays the exact same jitter schedule.
+        """
+        retry = self.config.retry
+        return jittered_backoff(
+            retry.backoff_base_cycles,
+            retry.backoff_factor,
+            attempt,
+            rng=self._backoff_rng,
+            jitter=retry.jitter,
+        )
 
     # -- link faults -----------------------------------------------------
 
@@ -298,8 +322,9 @@ def parse_fault_spec(spec: str) -> FaultConfig:
     The spec is comma-separated ``key=value`` pairs, e.g.
     ``"drop=1e-3,corrupt=5e-4,seed=7"``.  Keys: ``drop``, ``corrupt``,
     ``suppress``, ``misroute`` (rates); ``stall-node``, ``stall-start``,
-    ``stall-cycles`` (``inf`` allowed); ``seed``; ``max-retries`` and
-    ``backoff`` (retry policy, backoff in base cycles).
+    ``stall-cycles`` (``inf`` allowed); ``seed``; ``max-retries``,
+    ``backoff`` (retry policy, backoff in base cycles) and ``jitter``
+    (fractional backoff randomization in ``[0, 1)``).
     """
     def _float(key: str, value: str) -> float:
         try:
@@ -348,6 +373,8 @@ def parse_fault_spec(spec: str) -> FaultConfig:
             retry_kwargs["max_retries"] = _int(key, value)
         elif key == "backoff":
             retry_kwargs["backoff_base_cycles"] = _float(key, value)
+        elif key == "jitter":
+            retry_kwargs["jitter"] = _float(key, value)
         else:
             raise ValueError(f"unknown fault spec key {key!r}")
     if retry_kwargs:

@@ -52,6 +52,8 @@ from multiprocessing import get_context
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Any, Callable
 
+from repro.resilience.leases import LeaseTable
+
 __all__ = [
     "PointSupervisor",
     "SupervisorConfig",
@@ -219,8 +221,6 @@ class _Worker:
     process: Any
     conn: Connection
     task_id: Any = None
-    started_at: float = 0.0
-    last_beat: float = 0.0
 
 
 class PointSupervisor:
@@ -269,7 +269,12 @@ class PointSupervisor:
         self._ready: list[tuple[float, int, Any]] = []
         self._seq = itertools.count()
         self._payloads: dict[Any, Any] = {}
-        self._crashes: dict[Any, int] = {}
+        #: lease + crash/quarantine bookkeeping, shared verbatim with
+        #: the fleet coordinator (repro.service.coordinator).
+        self._leases = LeaseTable(
+            deadline_s=self.config.point_timeout_s,
+            stale_s=self.config.heartbeat_stale_s,
+        )
         self._events: list[SupervisorEvent] = []
         self._started = time.monotonic()
         self._closed = False
@@ -390,8 +395,7 @@ class PointSupervisor:
                 return
             _, _, task_id = heapq.heappop(self._ready)
             worker.task_id = task_id
-            worker.started_at = now
-            worker.last_beat = now
+            self._leases.grant(task_id, worker, now)
             try:
                 worker.conn.send(("task", task_id, self._payloads[task_id]))
             except OSError:
@@ -431,16 +435,17 @@ class PointSupervisor:
             kind = message[0]
             if kind == "heartbeat":
                 if message[1] == worker.task_id:
-                    worker.last_beat = time.monotonic()
+                    self._leases.beat(worker.task_id)
             elif kind == "done":
                 _, task_id, result = message
                 worker.task_id = None
+                self._leases.release(task_id)
                 self._events.append(
                     SupervisorEvent(
                         kind="result",
                         task_id=task_id,
                         result=result,
-                        crashes=self._crashes.get(task_id, 0),
+                        crashes=self._leases.crashes(task_id),
                     )
                 )
             elif kind == "error":
@@ -450,11 +455,11 @@ class PointSupervisor:
                 # repeat offender still quarantines.
                 _, task_id, detail = message
                 worker.task_id = None
+                self._leases.release(task_id)
                 self._record_crash("worker-lost", task_id, detail)
 
     def _check_workers(self) -> None:
         now = time.monotonic()
-        cfg = self.config
         for worker in list(self._pool):
             if not worker.process.is_alive():
                 self._pool.remove(worker)
@@ -463,38 +468,26 @@ class PointSupervisor:
                 except OSError:
                     pass
                 if worker.task_id is not None:
+                    task_id = worker.task_id
+                    self._leases.release(task_id)
                     self.stats["respawns"] += 1
                     self._record_crash(
                         "worker-lost",
-                        worker.task_id,
+                        task_id,
                         f"worker process died "
                         f"(exitcode {worker.process.exitcode})",
                     )
                 continue
-            if worker.task_id is None:
-                continue
-            if (
-                cfg.point_timeout_s is not None
-                and now - worker.started_at > cfg.point_timeout_s
-            ):
-                self._reap(
-                    worker,
-                    "timeout",
-                    f"point deadline exceeded ({cfg.point_timeout_s:g}s)",
-                )
-            elif (
-                cfg.heartbeat_stale_s is not None
-                and now - worker.last_beat > cfg.heartbeat_stale_s
-            ):
-                self._reap(
-                    worker,
-                    "timeout",
-                    f"heartbeat stale beyond {cfg.heartbeat_stale_s:g}s",
-                )
+        # Deadline / heartbeat-staleness expiry is the lease table's
+        # verdict; reaping the holder process is ours.
+        for lease, detail in self._leases.expired(now):
+            if lease.holder in self._pool:
+                self._reap(lease.holder, "timeout", detail)
 
     def _reap(self, worker: _Worker, kind: str, detail: str) -> None:
         task_id = worker.task_id
         self._pool.remove(worker)
+        self._leases.release(task_id)
         worker.process.terminate()
         worker.process.join(self.config.reap_grace_s)
         if worker.process.is_alive():
@@ -508,8 +501,7 @@ class PointSupervisor:
         self._record_crash(kind, task_id, detail)
 
     def _record_crash(self, kind: str, task_id: Any, detail: str) -> None:
-        count = self._crashes.get(task_id, 0) + 1
-        self._crashes[task_id] = count
+        count = self._leases.record_crash(task_id)
         elapsed = time.monotonic() - self._started
         if kind == "timeout":
             self.stats["timeouts"] += 1
@@ -530,7 +522,9 @@ class PointSupervisor:
         )
         if not self.resubmit_crashed:
             return
-        if count < self.config.quarantine_after:
+        if not self._leases.should_quarantine(
+            task_id, self.config.quarantine_after
+        ):
             self.submit(task_id, self._payloads[task_id])
             return
         self.stats["quarantined"] += 1

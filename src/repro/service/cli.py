@@ -1,0 +1,296 @@
+"""The service verbs: ``serve``, ``work``, ``submit`` and ``status``.
+
+Usage::
+
+    # coordinator, one-shot job over whoever connects:
+    repro-experiments serve chaos --output-dir fleet-out --count 8 \\
+        --port 7421 --wait-workers 2
+    # workers (any host that can reach the coordinator):
+    repro-experiments work --connect cohost:7421 --name worker-a
+    # idle coordinator + remote submission:
+    repro-experiments serve --port 7421 &
+    repro-experiments submit chaos --connect cohost:7421 --output-dir out
+    repro-experiments status --connect cohost:7421
+
+``serve`` with a job runs it and then broadcasts ``shutdown`` so the
+fleet exits cleanly; ``serve`` without one idles, draining submitted
+jobs in arrival order until interrupted.  A SIGKILLed coordinator
+restarts with ``--resume``: the journal already holds every completed
+point, so only the remainder is re-leased.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.service.jobs import JOB_KINDS, job_from_args, run_job
+from repro.service.protocol import connect
+from repro.service.server import ServiceServer
+from repro.service.worker import WorkerConfig, run_worker
+
+__all__ = ["build_parser", "main"]
+
+
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        raise SystemExit(f"--connect needs host:port, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError as error:
+        raise SystemExit(f"bad --connect port in {text!r}") from error
+
+
+def _progress(args: argparse.Namespace):
+    if getattr(args, "quiet", False):
+        return None
+    return lambda message: print(message, file=sys.stderr, flush=True)
+
+
+def _wait_for_workers(server: ServiceServer, count: int) -> None:
+    import time
+
+    while len(server.workers) < count:
+        time.sleep(0.05)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    with ServiceServer(args.host, args.port) as server:
+        state = {"state": "idle"}
+        server.set_status_provider(
+            lambda: {
+                "state": state["state"],
+                "workers": [w.name for w in server.workers],
+            }
+        )
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"(session {server.session})",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            if args.wait_workers:
+                _wait_for_workers(server, args.wait_workers)
+            if args.job is not None:
+                job = job_from_args(args)
+                state["state"] = f"running {job['kind']}"
+                return run_job(server, job, progress=_progress(args))
+            while True:  # idle: drain submitted jobs until interrupted
+                frame = server.jobs.get()
+                job = frame.get("job") or {}
+                state["state"] = f"running {job.get('kind')}"
+                code = run_job(server, job, progress=_progress(args))
+                state["state"] = "idle"
+                if code != 0:
+                    print(
+                        f"submitted {job.get('kind')} job exited {code}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+        except KeyboardInterrupt:
+            return 130
+        finally:
+            server.broadcast({"type": "shutdown"})
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    host, port = _parse_endpoint(args.connect)
+    return run_worker(
+        WorkerConfig(
+            host=host,
+            port=port,
+            name=args.name or "",
+            max_reconnects=args.max_reconnects,
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    host, port = _parse_endpoint(args.connect)
+    job = job_from_args(args)
+    channel = connect(host, port)
+    try:
+        channel.send({"type": "submit", "job": job})
+        reply = channel.recv()
+    finally:
+        channel.close()
+    if reply is None or reply.get("type") != "ok":
+        print("coordinator rejected the submission", file=sys.stderr)
+        return 1
+    print(f"submitted {job['kind']} to session {reply.get('session')}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    host, port = _parse_endpoint(args.connect)
+    channel = connect(host, port)
+    try:
+        channel.send({"type": "status"})
+        reply = channel.recv()
+    finally:
+        channel.close()
+    if reply is None:
+        print("no status reply", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    workers = reply.get("workers") or []
+    print(f"session:  {reply.get('session')}")
+    print(f"state:    {reply.get('state')}")
+    print(f"workers:  {len(workers)}" + (f" ({', '.join(workers)})" if workers else ""))
+    return 0
+
+
+def _add_job_flags(parser: argparse.ArgumentParser) -> None:
+    """The job-describing flags ``serve`` and ``submit`` share."""
+    parser.add_argument(
+        "job",
+        nargs="?" if parser.prog.endswith("serve") else None,
+        choices=JOB_KINDS,
+        help="what to run over the fleet (fig10, fig11 or chaos)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="fast",
+        help="figure preset (paper/fast/smoke) or chaos sizing (fast/smoke)",
+    )
+    parser.add_argument(
+        "--panel", default=None, help="restrict fig10/fig11 to one panel"
+    )
+    parser.add_argument(
+        "--telemetry-dir", type=Path, default=None,
+        help="fig10/fig11: per-point JSONL traces + sweep manifests here",
+    )
+    parser.add_argument(
+        "--journal-dir", type=Path, default=None,
+        help="fig10/fig11: per-panel sweep journals under this directory",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="fig10/fig11: also write the figure report here",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=1,
+        help="fig10/fig11: in-task tries per point (default 1)",
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="chaos: campaign directory (journal, traces/, bundles/)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="chaos: campaign seed")
+    parser.add_argument(
+        "--count", type=int, default=20, help="chaos: scenarios to generate"
+    )
+    parser.add_argument(
+        "--inject-deadlock", action="store_true",
+        help="chaos: append the guaranteed-deadlock scenario",
+    )
+    parser.add_argument(
+        "--no-standalone", action="store_true",
+        help="chaos: timing-model scenarios only",
+    )
+    parser.add_argument(
+        "--no-traces", action="store_true",
+        help="chaos: skip per-scenario telemetry traces",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip work already completed in the journal",
+    )
+    parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="lease deadline & heartbeat-staleness bound per point; a "
+             "worker past either is kicked and the point re-leased",
+    )
+    parser.add_argument(
+        "--quarantine-after", type=int, default=3, metavar="K",
+        help="quarantine a point after K lost/kicked workers (default 3)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Distributed sweep/chaos service: a lease-based coordinator "
+            "plus remote workers (see docs/service.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the coordinator (one-shot job, or idle + submit)"
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; the service is "
+             "unauthenticated -- do not expose it to untrusted networks)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral, printed on stderr)",
+    )
+    serve_p.add_argument(
+        "--wait-workers", type=int, default=0, metavar="N",
+        help="wait until N workers have joined before starting the job",
+    )
+    _add_job_flags(serve_p)
+    serve_p.set_defaults(func=_cmd_serve)
+
+    work_p = sub.add_parser("work", help="join a coordinator as a fleet worker")
+    work_p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator to join",
+    )
+    work_p.add_argument(
+        "--name", default=None, help="worker name shown in status/traces"
+    )
+    work_p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the jittered reconnect backoff (default 0)",
+    )
+    work_p.add_argument(
+        "--max-reconnects", type=int, default=None, metavar="N",
+        help="give up after N consecutive failed connection attempts "
+             "(default: retry until shutdown)",
+    )
+    work_p.set_defaults(func=_cmd_work)
+
+    submit_p = sub.add_parser(
+        "submit", help="hand a job to an idle (serve, no job) coordinator"
+    )
+    submit_p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator to submit to",
+    )
+    _add_job_flags(submit_p)
+    submit_p.set_defaults(func=_cmd_submit)
+
+    status_p = sub.add_parser("status", help="query a coordinator's status")
+    status_p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator to query",
+    )
+    status_p.add_argument(
+        "--json", action="store_true", help="print the raw status frame"
+    )
+    status_p.set_defaults(func=_cmd_status)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

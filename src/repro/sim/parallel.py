@@ -79,6 +79,10 @@ from repro.sim.metrics import BNFCurve, BNFPoint
 #: (worker-lost/point-timeout/quarantined events + counters).
 SUPERVISOR_TRACE_NAME = "supervisor.jsonl"
 
+#: the fleet coordinator's trace file (lease grants/expiries, worker
+#: connects, duplicate deliveries) when a sweep runs over the service.
+SERVICE_TRACE_NAME = "service.jsonl"
+
 #: test-only chaos hooks, used by the test suite and the CI smoke jobs
 #: to fault a worker deterministically: wedge (spin without
 #: heartbeating) or SIGKILL the worker that picks up a matching point.
@@ -374,6 +378,7 @@ class ParallelSweepRunner:
         workers: int,
         mp_context: str = "spawn",
         supervisor: SupervisorConfig | None = None,
+        fleet=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -382,6 +387,12 @@ class ParallelSweepRunner:
         #: sinks, RNGs, the loaded journal), so per-point determinism
         #: holds regardless of platform default start method.
         self.mp_context = mp_context
+        #: a live :class:`repro.service.ServiceServer` to schedule over
+        #: remote fleet workers instead of a local pool.  Fleet runs
+        #: are always supervised -- leases need a policy.
+        self.fleet = fleet
+        if fleet is not None and supervisor is None:
+            supervisor = SupervisorConfig()
         self.supervisor = supervisor
 
     # -- public API ------------------------------------------------------
@@ -463,6 +474,12 @@ class ParallelSweepRunner:
         failed: dict[tuple[str, str], str] = {}
         quarantined: dict[tuple[str, str], str] = {}
         supervisor_summary: dict | None = None
+        # The lock marks this parent as the journal's single writer;
+        # a concurrent sweep over the same journal fails fast instead
+        # of interleaving lines.
+        lock = journal.lock() if journal is not None else None
+        if lock is not None:
+            lock.acquire()
         try:
             if pending:
                 if self.supervisor is not None:
@@ -478,6 +495,8 @@ class ParallelSweepRunner:
                         profile_into,
                     )
         finally:
+            if lock is not None:
+                lock.release()
             if telemetry_dir is not None:
                 self._write_sweep_manifest(
                     Path(telemetry_dir),
@@ -707,17 +726,36 @@ class ParallelSweepRunner:
             from repro.obs.sink import JsonlSink
             from repro.obs.telemetry import Telemetry
 
-            path = Path(telemetry_dir) / SUPERVISOR_TRACE_NAME
+            trace_name = (
+                SERVICE_TRACE_NAME
+                if self.fleet is not None
+                else SUPERVISOR_TRACE_NAME
+            )
+            path = Path(telemetry_dir) / trace_name
             path.parent.mkdir(parents=True, exist_ok=True)
             telemetry = Telemetry(sink=JsonlSink(path))
-        supervisor = PointSupervisor(
-            workers=min(self.workers, len(pending)),
-            runner=_supervised_point,
-            config=self.supervisor,
-            mp_context=self.mp_context,
-            telemetry=telemetry,
-            resubmit_crashed=True,
-        )
+        if self.fleet is not None:
+            # Same policy, same event vocabulary, remote holders: the
+            # coordinator leases specs to connected fleet workers and
+            # this loop below cannot tell the difference.
+            from repro.service.coordinator import FleetCoordinator
+
+            supervisor = FleetCoordinator(
+                self.fleet,
+                config=self.supervisor,
+                telemetry=telemetry,
+                resubmit_crashed=True,
+                task_kind="sweep-point",
+            )
+        else:
+            supervisor = PointSupervisor(
+                workers=min(self.workers, len(pending)),
+                runner=_supervised_point,
+                config=self.supervisor,
+                mp_context=self.mp_context,
+                telemetry=telemetry,
+                resubmit_crashed=True,
+            )
         try:
             with supervisor:
                 for spec in pending:
@@ -850,7 +888,11 @@ class ParallelSweepRunner:
             # supervisor's own trace (events + counters) landed.
             manifest["supervisor"] = {
                 **supervisor_summary,
-                "trace": SUPERVISOR_TRACE_NAME,
+                "trace": (
+                    SERVICE_TRACE_NAME
+                    if self.fleet is not None
+                    else SUPERVISOR_TRACE_NAME
+                ),
             }
         if profile is not None:
             # The workers' merged phase attribution: where the pool's

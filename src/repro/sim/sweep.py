@@ -100,6 +100,9 @@ class SweepGuard:
     #: per-point deadlines, reaping, quarantine); serial sweeps ignore
     #: it -- there is no worker process to supervise.
     supervisor: SupervisorConfig | None = None
+    #: a live :class:`repro.service.ServiceServer` -- sweep points are
+    #: leased to the connected remote fleet instead of a local pool.
+    fleet: object | None = None
 
     def scoped(self, name: str) -> "SweepGuard":
         """A copy whose journal lives at ``<journal_path>/<name>.journal.jsonl``."""
@@ -125,6 +128,7 @@ class SweepGuard:
             "max_attempts": self.max_attempts,
             "retry_backoff_s": self.retry_backoff_s,
             "supervisor": self.supervisor,
+            "fleet": self.fleet,
         }
 
 
@@ -231,6 +235,7 @@ def sweep_algorithm(
     retry_backoff_s: float = 0.0,
     workers: int = 1,
     supervisor: SupervisorConfig | None = None,
+    fleet=None,
     profile_into: PhaseProfiler | None = None,
 ) -> BNFCurve:
     """Run one algorithm over a set of offered loads.
@@ -278,6 +283,9 @@ def sweep_algorithm(
             ``quarantine_after`` times are quarantined instead of
             retried forever.  Ignored by the serial path (there is no
             worker process to supervise).
+        fleet: a live :class:`repro.service.ServiceServer`; points are
+            leased to its connected remote workers (always supervised)
+            regardless of *workers*.
         profile_into: when set, every point runs with phase profiling
             enabled and its arbitration/traversal/delivery wall-time
             attribution is merged into this
@@ -288,7 +296,7 @@ def sweep_algorithm(
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be at least 1")
-    if workers > 1:
+    if workers > 1 or fleet is not None:
         if observer_factory is not None:
             raise ValueError(
                 "observer_factory is not supported with workers > 1 "
@@ -298,7 +306,7 @@ def sweep_algorithm(
         from repro.sim.parallel import ParallelSweepRunner
 
         return ParallelSweepRunner(
-            workers=workers, supervisor=supervisor
+            workers=workers, supervisor=supervisor, fleet=fleet
         ).run_algorithm(
             config,
             rates,
@@ -315,80 +323,91 @@ def sweep_algorithm(
             profile_into=profile_into,
         )
     curve = BNFCurve(label=config.algorithm)
-    for rate in rates:
-        if resume and journal is not None:
-            cached = journal.completed_point(config.algorithm, rate)
-            if cached is not None:
-                curve.add(cached)
-                if progress is not None:
-                    progress(
-                        f"{config.algorithm} rate={rate:.4g} -> resumed "
-                        f"from journal"
-                    )
-                continue
-        point = None
-        resilience = None
-        attempts = 0
-        for attempt in range(max_attempts):
-            attempts = attempt + 1
-            if attempt and retry_backoff_s > 0:
-                time.sleep(retry_backoff_s * 2 ** (attempt - 1))
-            telemetry = _point_telemetry(
-                config.algorithm,
-                rate,
-                telemetry_dir,
-                collect_counters,
-                profile=profile_into is not None,
-            )
-            try:
-                point, resilience = _run_point(
-                    config,
+    # Mark this process as the journal's single writer for the whole
+    # sweep; a concurrent run over the same journal fails fast instead
+    # of interleaving checkpoint lines.
+    lock = journal.lock() if journal is not None else None
+    if lock is not None:
+        lock.acquire()
+    try:
+        for rate in rates:
+            if resume and journal is not None:
+                cached = journal.completed_point(config.algorithm, rate)
+                if cached is not None:
+                    curve.add(cached)
+                    if progress is not None:
+                        progress(
+                            f"{config.algorithm} rate={rate:.4g} -> resumed "
+                            f"from journal"
+                        )
+                    continue
+            point = None
+            resilience = None
+            attempts = 0
+            for attempt in range(max_attempts):
+                attempts = attempt + 1
+                if attempt and retry_backoff_s > 0:
+                    time.sleep(retry_backoff_s * 2 ** (attempt - 1))
+                telemetry = _point_telemetry(
+                    config.algorithm,
                     rate,
-                    telemetry,
-                    observer_factory,
-                    faults,
-                    invariants,
-                    watchdog,
-                    attempt,
+                    telemetry_dir,
+                    collect_counters,
+                    profile=profile_into is not None,
                 )
-                break
-            except Exception as error:
-                if journal is not None:
-                    journal.record_failure(
-                        config.algorithm, rate, attempts, error
+                try:
+                    point, resilience = _run_point(
+                        config,
+                        rate,
+                        telemetry,
+                        observer_factory,
+                        faults,
+                        invariants,
+                        watchdog,
+                        attempt,
                     )
-                if progress is not None:
-                    progress(
-                        f"{config.algorithm} rate={rate:.4g} attempt "
-                        f"{attempts}/{max_attempts} failed: "
-                        f"{type(error).__name__}: {error}"
-                    )
-                if attempts >= max_attempts:
-                    raise SweepPointError(
-                        config.algorithm, rate, attempts, error
-                    ) from error
-        assert point is not None
-        if profile_into is not None and telemetry is not None:
-            profile_into.merge(telemetry.profiler)
-        if journal is not None:
-            journal.record_success(
-                config.algorithm,
-                rate,
-                point,
-                attempts=attempts,
-                resilience=resilience,
-            )
-        curve.add(point)
-        if progress is not None:
-            progress(
-                f"{config.algorithm} rate={rate:.4g} -> "
-                f"thr={point.throughput:.3f} flits/router/ns, "
-                f"lat={point.latency_ns:.1f} ns"
-            )
-    if resume and journal is not None:
-        # The sweep finished with every point journalled as a success;
-        # retry history is now dead weight, so rewrite latest-wins.
-        journal.compact()
+                    break
+                except Exception as error:
+                    if journal is not None:
+                        journal.record_failure(
+                            config.algorithm, rate, attempts, error
+                        )
+                    if progress is not None:
+                        progress(
+                            f"{config.algorithm} rate={rate:.4g} attempt "
+                            f"{attempts}/{max_attempts} failed: "
+                            f"{type(error).__name__}: {error}"
+                        )
+                    if attempts >= max_attempts:
+                        raise SweepPointError(
+                            config.algorithm, rate, attempts, error
+                        ) from error
+            assert point is not None
+            if profile_into is not None and telemetry is not None:
+                profile_into.merge(telemetry.profiler)
+            if journal is not None:
+                journal.record_success(
+                    config.algorithm,
+                    rate,
+                    point,
+                    attempts=attempts,
+                    resilience=resilience,
+                )
+            curve.add(point)
+            if progress is not None:
+                progress(
+                    f"{config.algorithm} rate={rate:.4g} -> "
+                    f"thr={point.throughput:.3f} flits/router/ns, "
+                    f"lat={point.latency_ns:.1f} ns"
+                )
+        if resume and journal is not None:
+            # The sweep finished with every point journalled as a
+            # success; retry history is now dead weight, so rewrite
+            # latest-wins.
+            journal.compact()
+    finally:
+        if lock is not None:
+            lock.release()
     return curve
 
 
@@ -408,20 +427,23 @@ def sweep_algorithms(
     retry_backoff_s: float = 0.0,
     workers: int = 1,
     supervisor: SupervisorConfig | None = None,
+    fleet=None,
     profile_into: PhaseProfiler | None = None,
 ) -> dict[str, BNFCurve]:
     """Run several algorithms over the same loads (one Figure 10 panel).
 
     With ``workers > 1`` every (algorithm, rate) point of the whole
     panel is fanned out over one shared process pool (see
-    :mod:`repro.sim.parallel`), so a slow algorithm's saturation tail
-    overlaps the next algorithm's points instead of serializing.
+    :mod:`repro.sim.parallel`); with *fleet* set, over the service's
+    connected remote workers.  Either way a slow algorithm's
+    saturation tail overlaps the next algorithm's points instead of
+    serializing.
     """
-    if workers > 1:
+    if workers > 1 or fleet is not None:
         from repro.sim.parallel import ParallelSweepRunner
 
         return ParallelSweepRunner(
-            workers=workers, supervisor=supervisor
+            workers=workers, supervisor=supervisor, fleet=fleet
         ).run(
             config,
             algorithms,

@@ -575,8 +575,11 @@ class NetworkSimulator:
         self.stats.link_retries += 1
         if tel.enabled:
             tel.on_link_retry()
+        # Jittered backoff (seeded, from the injector's dedicated
+        # stream): packets faulted in the same burst de-synchronize
+        # instead of retrying -- and re-colliding -- in lockstep.
         self.queue.schedule_after(
-            retry.backoff_cycles(attempt) + self._hop_latency,
+            self.faults.retry_backoff_cycles(attempt) + self._hop_latency,
             partial(self._link_arrival, router, port, channel, packet, attempt + 1),
         )
 

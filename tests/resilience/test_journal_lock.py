@@ -1,0 +1,119 @@
+"""JournalLock: single-writer guard with crash-safe stale takeover.
+
+The failure matrix pinned here is the one the fleet acceptance story
+leans on: a SIGKILLed coordinator leaves its lock behind, and the
+restarted coordinator (same host, dead pid) must take it over without
+manual cleanup -- while a *live* second writer, or a writer on another
+host, is always refused.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.resilience.checkpoint import (
+    JournalLock,
+    JournalLockError,
+    SweepJournal,
+)
+
+
+def read_holder(path):
+    return json.loads(path.read_text())
+
+
+class TestAcquireRelease:
+    def test_acquire_writes_pid_and_host(self, tmp_path):
+        lock = JournalLock(tmp_path / "sweep.jsonl.lock")
+        lock.acquire()
+        assert lock.held
+        holder = read_holder(lock.path)
+        assert holder["pid"] == os.getpid()
+        assert holder["host"] == socket.gethostname()
+        assert holder["acquired_at"] > 0
+        lock.release()
+        assert not lock.held
+        assert not lock.path.exists()
+
+    def test_context_manager(self, tmp_path):
+        lock = JournalLock(tmp_path / "j.lock")
+        with lock:
+            assert lock.path.exists()
+        assert not lock.path.exists()
+
+    def test_release_without_acquire_is_a_no_op(self, tmp_path):
+        lock = JournalLock(tmp_path / "j.lock")
+        lock.path.write_text("{}")  # someone else's lock
+        lock.release()
+        assert lock.path.exists(), "must not remove a lock we never held"
+
+    def test_journal_lock_is_a_sidecar(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        lock = journal.lock()
+        assert lock.path == tmp_path / "sweep.jsonl.lock"
+
+
+class TestContention:
+    def test_live_holder_on_this_host_is_refused(self, tmp_path):
+        path = tmp_path / "j.lock"
+        with JournalLock(path):
+            with pytest.raises(JournalLockError, match="live pid"):
+                JournalLock(path).acquire()
+            # The loser must not have clobbered the winner's lock.
+            assert read_holder(path)["pid"] == os.getpid()
+
+    def test_other_host_lock_is_never_taken_over(self, tmp_path):
+        path = tmp_path / "j.lock"
+        path.write_text(json.dumps({
+            "pid": 1, "host": "some-other-host", "acquired_at": 0.0,
+        }))
+        with pytest.raises(JournalLockError, match="not this host"):
+            JournalLock(path).acquire()
+        assert path.exists()
+
+
+class TestStaleTakeover:
+    def test_dead_pid_same_host_is_taken_over(self, tmp_path, caplog):
+        """The SIGKILLed-coordinator path: --resume must not require
+        deleting the lock by hand."""
+        # A real, definitely-dead pid from a reaped child process.
+        child = subprocess.Popen([sys.executable, "-c", "pass"])
+        child.wait()
+        path = tmp_path / "j.lock"
+        path.write_text(json.dumps({
+            "pid": child.pid,
+            "host": socket.gethostname(),
+            "acquired_at": 0.0,
+        }))
+        with caplog.at_level("WARNING"):
+            lock = JournalLock(path).acquire()
+        assert lock.held
+        assert read_holder(path)["pid"] == os.getpid()
+        assert any("stale journal lock" in r.message for r in caplog.records)
+        lock.release()
+
+    def test_garbage_lock_file_is_treated_as_stale(self, tmp_path, caplog):
+        path = tmp_path / "j.lock"
+        path.write_text("not json at all\n")
+        with caplog.at_level("WARNING"):
+            lock = JournalLock(path).acquire()
+        assert lock.held
+        assert read_holder(path)["pid"] == os.getpid()
+        lock.release()
+
+    def test_takeover_loses_a_race_gracefully(self, tmp_path):
+        """If the stale check still finds the path contended on the
+        second try (a raced writer), acquire fails loudly instead of
+        spinning."""
+        path = tmp_path / "j.lock"
+        path.write_text(json.dumps({
+            "pid": os.getpid(),  # alive: never considered stale
+            "host": socket.gethostname(),
+            "acquired_at": 0.0,
+        }))
+        with pytest.raises(JournalLockError):
+            JournalLock(path).acquire()

@@ -1,0 +1,127 @@
+"""LeaseTable: the bookkeeping shared by supervisor and coordinator.
+
+The table is driven with explicit ``now`` values throughout -- the
+expiry logic must be a pure function of the clock readings it is
+handed, because both schedulers feed it their own notion of time.
+"""
+
+from repro.resilience.leases import LeaseTable
+
+
+class Holder:
+    """A stand-in worker; identity (not equality) is what matters."""
+
+
+class TestGranting:
+    def test_grant_returns_a_live_lease(self):
+        table = LeaseTable()
+        lease = table.grant("t1", holder := Holder(), now=10.0)
+        assert lease.task_id == "t1"
+        assert lease.holder is holder
+        assert lease.granted_at == 10.0
+        assert lease.last_beat == 10.0
+        assert table.lease_for("t1") is lease
+        assert len(table) == 1
+
+    def test_dispatch_ids_are_table_unique_and_increasing(self):
+        table = LeaseTable()
+        ids = [table.grant(n, Holder(), now=0.0).dispatch for n in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_regrant_replaces_and_bumps_dispatch(self):
+        """The stale-delivery defence: a re-granted task gets a new
+        dispatch id, so the old holder's late result is recognizable."""
+        table = LeaseTable()
+        first = table.grant("t", Holder(), now=0.0)
+        second = table.grant("t", Holder(), now=1.0)
+        assert second.dispatch > first.dispatch
+        assert table.lease_for("t") is second
+        assert len(table) == 1
+
+    def test_release_pops_the_lease(self):
+        table = LeaseTable()
+        lease = table.grant("t", Holder(), now=0.0)
+        assert table.release("t") is lease
+        assert table.lease_for("t") is None
+        assert table.release("t") is None
+
+    def test_held_by_matches_on_identity(self):
+        table = LeaseTable()
+        a, b = Holder(), Holder()
+        table.grant("t1", a, now=0.0)
+        table.grant("t2", b, now=0.0)
+        table.grant("t3", a, now=0.0)
+        assert {lease.task_id for lease in table.held_by(a)} == {"t1", "t3"}
+        assert {lease.task_id for lease in table.held_by(b)} == {"t2"}
+
+
+class TestExpiry:
+    def test_no_bounds_never_expires(self):
+        table = LeaseTable()
+        table.grant("t", Holder(), now=0.0)
+        assert table.expired(now=1e9) == []
+
+    def test_deadline_expiry_with_shared_detail_string(self):
+        table = LeaseTable(deadline_s=5.0)
+        table.grant("t", Holder(), now=0.0)
+        assert table.expired(now=5.0) == []
+        [(lease, detail)] = table.expired(now=5.01)
+        assert lease.task_id == "t"
+        assert detail == "point deadline exceeded (5s)"
+
+    def test_stale_heartbeat_expiry(self):
+        table = LeaseTable(stale_s=2.0)
+        table.grant("t", Holder(), now=0.0)
+        assert table.beat("t", now=10.0)
+        assert table.expired(now=11.0) == []
+        [(_, detail)] = table.expired(now=12.5)
+        assert detail == "heartbeat stale beyond 2s"
+
+    def test_deadline_reported_over_staleness(self):
+        """When both bounds are blown, the reap reason is the deadline
+        (it is the harder bound; heartbeats cannot extend it)."""
+        table = LeaseTable(deadline_s=5.0, stale_s=1.0)
+        table.grant("t", Holder(), now=0.0)
+        [(_, detail)] = table.expired(now=10.0)
+        assert "deadline" in detail
+
+    def test_heartbeats_hold_off_staleness_not_deadline(self):
+        table = LeaseTable(deadline_s=5.0, stale_s=1.0)
+        table.grant("t", Holder(), now=0.0)
+        for now in (0.5, 1.0, 1.5):
+            table.beat("t", now=now)
+            assert table.expired(now=now) == []
+        table.beat("t", now=6.0)
+        [(_, detail)] = table.expired(now=6.0)
+        assert "deadline" in detail
+
+    def test_beat_on_unknown_task_is_refused(self):
+        assert not LeaseTable().beat("never-granted", now=0.0)
+
+
+class TestCrashAccounting:
+    def test_counts_accumulate_per_task(self):
+        table = LeaseTable()
+        assert table.crashes("t") == 0
+        assert table.record_crash("t") == 1
+        assert table.record_crash("t") == 2
+        assert table.crashes("t") == 2
+        assert table.crashes("other") == 0
+
+    def test_quarantine_threshold(self):
+        table = LeaseTable()
+        table.record_crash("t")
+        assert not table.should_quarantine("t", 2)
+        table.record_crash("t")
+        assert table.should_quarantine("t", 2)
+
+    def test_crash_counts_survive_release(self):
+        """Crash history is per *task*, not per lease: quarantine must
+        see the total across re-grants."""
+        table = LeaseTable()
+        table.grant("t", Holder(), now=0.0)
+        table.record_crash("t")
+        table.release("t")
+        table.grant("t", Holder(), now=1.0)
+        assert table.crashes("t") == 1

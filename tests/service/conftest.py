@@ -1,0 +1,97 @@
+"""Shared fixtures for the distributed-service tests.
+
+Every test in this directory carries the ``service`` marker (run the
+slice alone with ``pytest -m service``).  Two worker shapes are on
+offer: in-process *thread* workers for the protocol/parity tests
+(cheap, and determinism does not care where the worker runs), and
+spawned *process* workers for the crash tests, where a SIGKILL has to
+take a real OS process with it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.service.server import ServiceServer
+from repro.service.worker import FleetWorker, WorkerConfig, run_worker
+from repro.sim.config import NetworkConfig, SimulationConfig, TrafficConfig
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "tests/service/" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.service)
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A 2x2 torus run small enough to sweep repeatedly in tests."""
+    return SimulationConfig(
+        network=NetworkConfig(width=2, height=2),
+        traffic=TrafficConfig(injection_rate=0.01),
+        warmup_cycles=200,
+        measure_cycles=1_000,
+        seed=11,
+    )
+
+
+class Fleet:
+    """A live server plus its workers, with a clean-shutdown teardown."""
+
+    def __init__(self) -> None:
+        self.server = ServiceServer()
+        self._threads: list[threading.Thread] = []
+        self._processes: list[multiprocessing.Process] = []
+
+    def add_thread_worker(self, name: str, seed: int = 0) -> None:
+        config = WorkerConfig(
+            host=self.server.host, port=self.server.port, name=name, seed=seed
+        )
+        thread = threading.Thread(
+            target=FleetWorker(config).run, name=name, daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+
+    def add_process_worker(self, name: str, seed: int = 0) -> multiprocessing.Process:
+        config = WorkerConfig(
+            host=self.server.host, port=self.server.port, name=name, seed=seed
+        )
+        process = multiprocessing.get_context("spawn").Process(
+            target=run_worker, args=(config,), name=name, daemon=True
+        )
+        process.start()
+        self._processes.append(process)
+        return process
+
+    def wait_for_workers(self, count: int, timeout_s: float = 30.0) -> None:
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while len(self.server.workers) < count:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"only {len(self.server.workers)}/{count} workers joined"
+                )
+            time.sleep(0.05)
+
+    def shutdown(self) -> None:
+        self.server.broadcast({"type": "shutdown"})
+        for thread in self._threads:
+            thread.join(timeout=10)
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+        self.server.close()
+
+
+@pytest.fixture
+def fleet():
+    fleet = Fleet()
+    yield fleet
+    fleet.shutdown()

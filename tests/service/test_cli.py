@@ -1,0 +1,217 @@
+"""Service CLI end to end: real processes, real SIGKILLs.
+
+The heavyweight acceptance test lives here: a coordinator serving a
+chaos campaign over two worker *processes* is SIGKILLed mid-campaign
+and restarted with ``--resume``; the journal lock left by the corpse
+is taken over, completed scenarios are not re-run, and the final
+manifest is byte-identical to a single-host supervised run.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.campaign import CampaignConfig, run_campaign
+from repro.chaos.scenario import ScenarioSpace
+from repro.resilience.supervisor import SupervisorConfig
+
+CAMPAIGN_ARGS = [
+    "--preset", "smoke", "--no-traces", "--seed", "11",
+    "--point-timeout", "60", "--quiet",
+]
+
+
+def free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def service_cli(*args, **popen_kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.cli", *args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        **popen_kwargs,
+    )
+
+
+def start_workers(port, count=2):
+    return [
+        service_cli(
+            "work", "--connect", f"127.0.0.1:{port}",
+            "--name", f"w{i}", "--seed", str(i),
+        )
+        for i in range(count)
+    ]
+
+
+def reap(processes, timeout_s=30):
+    codes = []
+    for process in processes:
+        try:
+            codes.append(process.wait(timeout=timeout_s))
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+            codes.append("killed")
+    return codes
+
+
+def single_host_reference(output_dir: Path, count: int = 3):
+    return run_campaign(
+        CampaignConfig(
+            output_dir=output_dir,
+            seed=11,
+            count=count,
+            space=ScenarioSpace.smoke(),
+            inject_deadlock=False,
+            traces=False,
+            workers=2,
+            supervisor=SupervisorConfig(
+                point_timeout_s=60.0, heartbeat_stale_s=60.0
+            ),
+        )
+    )
+
+
+def wait_for_journal_lines(journal: Path, count: int, timeout_s: float = 120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if journal.exists():
+            lines = [l for l in journal.read_text().splitlines() if l.strip()]
+            if len(lines) >= count:
+                return lines
+        time.sleep(0.02)
+    raise TimeoutError(f"{journal} never reached {count} records")
+
+
+class TestServeEndToEnd:
+    def test_fleet_campaign_matches_reference_manifest(self, tmp_path):
+        reference = single_host_reference(tmp_path / "single")
+        port = free_port()
+        out = tmp_path / "fleet"
+        serve = service_cli(
+            "serve", "chaos", "--output-dir", str(out), "--count", "3",
+            *CAMPAIGN_ARGS, "--port", str(port), "--wait-workers", "2",
+        )
+        workers = start_workers(port)
+        stdout, stderr = serve.communicate(timeout=180)
+        assert serve.returncode == 0, stderr[-2000:]
+        assert reap(workers) == [0, 0], "workers must exit 0 on shutdown"
+        assert (out / "campaign_manifest.json").read_bytes() == (
+            reference.manifest_path.read_bytes()
+        )
+
+    def test_coordinator_sigkill_then_resume_restart(self, tmp_path):
+        """The crash-safety acceptance path: SIGKILL the coordinator
+        mid-campaign, restart with --resume on the same port, and the
+        manifest still matches the single-host reference byte for
+        byte -- no lost work, no double-recorded work, no manual
+        lock cleanup."""
+        # Smoke scenarios run in tens of milliseconds; a wide campaign
+        # keeps plenty of work in flight when the SIGKILL lands.
+        reference = single_host_reference(tmp_path / "single", count=24)
+        port = free_port()
+        out = tmp_path / "fleet"
+        serve = service_cli(
+            "serve", "chaos", "--output-dir", str(out), "--count", "24",
+            *CAMPAIGN_ARGS, "--port", str(port), "--wait-workers", "2",
+        )
+        workers = start_workers(port)
+        try:
+            # Let at least one scenario land in the journal, then
+            # murder the coordinator mid-campaign.
+            wait_for_journal_lines(out / "campaign.journal.jsonl", 2)
+            os.kill(serve.pid, signal.SIGKILL)
+            serve.wait(timeout=30)
+            assert (out / "campaign.journal.jsonl.lock").exists(), (
+                "a SIGKILLed coordinator must leave its lock (that is "
+                "what stale takeover is for)"
+            )
+            # Workers are now reconnecting with jittered backoff; the
+            # restarted coordinator takes over the stale lock, resumes
+            # from the journal, and re-leases only the remainder.
+            restart = service_cli(
+                "serve", "chaos", "--output-dir", str(out), "--count", "24",
+                *CAMPAIGN_ARGS, "--resume", "--port", str(port),
+                "--wait-workers", "2",
+            )
+            stdout, stderr = restart.communicate(timeout=180)
+            assert restart.returncode == 0, stderr[-2000:]
+            assert reap(workers) == [0, 0]
+        finally:
+            reap(workers, timeout_s=1)
+        assert (out / "campaign_manifest.json").read_bytes() == (
+            reference.manifest_path.read_bytes()
+        )
+        records = [
+            json.loads(line)
+            for line in (out / "campaign.journal.jsonl").read_text().splitlines()
+        ]
+        scenario_ids = [
+            r["algorithm"]  # the journal's generic key holds scenario_id
+            for r in records
+            if r.get("kind") == "chaos-scenario"
+        ]
+        assert len(scenario_ids) == len(set(scenario_ids)), (
+            "exactly-once journaling: no scenario recorded twice"
+        )
+
+    def test_status_and_submit_against_idle_coordinator(self, tmp_path):
+        port = free_port()
+        serve = service_cli("serve", "--port", str(port), "--quiet")
+        workers = []
+        try:
+            deadline = time.monotonic() + 30
+            status = None
+            while time.monotonic() < deadline:
+                probe = service_cli(
+                    "status", "--connect", f"127.0.0.1:{port}", "--json"
+                )
+                stdout, _ = probe.communicate(timeout=30)
+                # The provider is installed just after the listener
+                # opens; keep probing until the full status shape shows.
+                if probe.returncode == 0 and "state" in json.loads(stdout):
+                    status = json.loads(stdout)
+                    break
+                time.sleep(0.1)
+            assert status is not None, "status verb never connected"
+            assert status["state"] == "idle"
+            assert status["workers"] == []
+
+            workers = start_workers(port, count=1)
+            out = tmp_path / "submitted"
+            submit = service_cli(
+                "submit", "chaos", "--connect", f"127.0.0.1:{port}",
+                "--output-dir", str(out), "--count", "1", "--preset",
+                "smoke", "--no-traces", "--quiet",
+            )
+            stdout, stderr = submit.communicate(timeout=30)
+            assert submit.returncode == 0, stderr[-2000:]
+            assert "submitted chaos" in stdout
+
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if (out / "campaign_manifest.json").exists():
+                    break
+                time.sleep(0.2)
+            else:
+                pytest.fail("submitted campaign never finished")
+        finally:
+            serve.kill()
+            serve.wait(timeout=10)
+            reap(workers, timeout_s=5)
